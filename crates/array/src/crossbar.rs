@@ -1,0 +1,534 @@
+//! The 1T1R crossbar array with its WL/BL/SL drivers.
+//!
+//! Per the paper's macro design (Fig. 2): "The size of RRAM array is
+//! moderately set as 128 × 128. The 1T1R cells in the crosspoint array are
+//! enabled by BL, WL, and source-line (SL) drivers, which allow to select the
+//! active region in the array to fit different sizes of matrix problems."
+
+use gramc_device::{CellNoise, DeviceParams, LevelQuantizer, Nmos, OneTOneR};
+use gramc_linalg::Matrix;
+use rand::Rng;
+
+use crate::error::ArrayError;
+
+/// The paper's array dimension.
+pub const PAPER_ARRAY_SIZE: usize = 128;
+
+/// Construction parameters for a crossbar array.
+#[derive(Debug, Clone)]
+pub struct ArrayConfig {
+    /// Number of rows (word lines).
+    pub rows: usize,
+    /// Number of columns (bit lines).
+    pub cols: usize,
+    /// RRAM compact-model parameters shared by all cells.
+    pub device: DeviceParams,
+    /// Access-transistor model shared by all cells.
+    pub nmos: Nmos,
+    /// Per-cell noise configuration.
+    pub noise: CellNoise,
+    /// Device-to-device relative sigma on the current prefactor `I0`.
+    pub d2d_i0_sigma: f64,
+    /// Device-to-device relative sigma on the gap length `g0`.
+    pub d2d_g0_sigma: f64,
+    /// Wire resistance per cell segment in ohms (0 disables IR-drop
+    /// modelling; the paper's simulations neglect it, but the ablation
+    /// benches sweep it).
+    pub wire_resistance: f64,
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self {
+            rows: PAPER_ARRAY_SIZE,
+            cols: PAPER_ARRAY_SIZE,
+            device: DeviceParams::default(),
+            nmos: Nmos::default(),
+            noise: CellNoise::default(),
+            d2d_i0_sigma: 0.02,
+            d2d_g0_sigma: 0.005,
+            wire_resistance: 0.0,
+        }
+    }
+}
+
+impl ArrayConfig {
+    /// A small array for fast unit tests.
+    pub fn small(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, ..Self::default() }
+    }
+
+    /// A noiseless, variation-free configuration (deterministic tests).
+    pub fn ideal(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            noise: CellNoise::none(),
+            d2d_i0_sigma: 0.0,
+            d2d_g0_sigma: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// A rectangular active region selected by the WL/BL/SL drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveRegion {
+    /// First active row.
+    pub row0: usize,
+    /// First active column.
+    pub col0: usize,
+    /// Active row count.
+    pub rows: usize,
+    /// Active column count.
+    pub cols: usize,
+}
+
+impl ActiveRegion {
+    /// Region covering an entire `rows × cols` array.
+    pub fn full(rows: usize, cols: usize) -> Self {
+        Self { row0: 0, col0: 0, rows, cols }
+    }
+
+    /// Region of the given size anchored at the array origin.
+    pub fn at_origin(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols)
+    }
+
+    /// Shape of the region.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// A crossbar of 1T1R cells with region-selectable drivers.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_array::{CrossbarArray, ArrayConfig, ActiveRegion};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut xbar = CrossbarArray::new(ArrayConfig::ideal(4, 4), &mut rng);
+/// let region = ActiveRegion::full(4, 4);
+/// let g = xbar.conductances(region, &mut rng).unwrap();
+/// assert_eq!(g.shape(), (4, 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    config: ArrayConfig,
+    cells: Vec<OneTOneR>,
+}
+
+impl CrossbarArray {
+    /// Builds the array, sampling device-to-device variation from `rng`.
+    pub fn new<R: Rng + ?Sized>(config: ArrayConfig, rng: &mut R) -> Self {
+        let mut cells = Vec::with_capacity(config.rows * config.cols);
+        for _ in 0..config.rows * config.cols {
+            cells.push(OneTOneR::with_variation(
+                config.device.clone(),
+                config.nmos,
+                config.noise,
+                rng,
+                config.d2d_i0_sigma,
+                config.d2d_g0_sigma,
+            ));
+        }
+        Self { config, cells }
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// Physical shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.config.rows, self.config.cols)
+    }
+
+    /// Validates that a region fits in the array.
+    pub fn check_region(&self, region: ActiveRegion) -> Result<(), ArrayError> {
+        if region.row0 + region.rows > self.config.rows
+            || region.col0 + region.cols > self.config.cols
+            || region.rows == 0
+            || region.cols == 0
+        {
+            return Err(ArrayError::RegionOutOfBounds {
+                region: (region.row0, region.col0, region.rows, region.cols),
+                array: (self.config.rows, self.config.cols),
+            });
+        }
+        Ok(())
+    }
+
+    /// Immutable access to the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn cell(&self, row: usize, col: usize) -> &OneTOneR {
+        assert!(row < self.config.rows && col < self.config.cols, "cell out of bounds");
+        &self.cells[row * self.config.cols + col]
+    }
+
+    /// Mutable access to the cell at `(row, col)` (used by the write-verify
+    /// controller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn cell_mut(&mut self, row: usize, col: usize) -> &mut OneTOneR {
+        assert!(row < self.config.rows && col < self.config.cols, "cell out of bounds");
+        &mut self.cells[row * self.config.cols + col]
+    }
+
+    /// Reads the noisy conductance matrix of a region (one ADC read per
+    /// cell, each with independent read noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RegionOutOfBounds`] for invalid regions.
+    pub fn conductances<R: Rng + ?Sized>(
+        &self,
+        region: ActiveRegion,
+        rng: &mut R,
+    ) -> Result<Matrix, ArrayError> {
+        self.check_region(region)?;
+        let mut g = Matrix::zeros(region.rows, region.cols);
+        for i in 0..region.rows {
+            for j in 0..region.cols {
+                g[(i, j)] = self.cell(region.row0 + i, region.col0 + j).read(rng);
+            }
+        }
+        Ok(g)
+    }
+
+    /// Reads the noise-free conductance matrix of a region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RegionOutOfBounds`] for invalid regions.
+    pub fn conductances_ideal(&self, region: ActiveRegion) -> Result<Matrix, ArrayError> {
+        self.check_region(region)?;
+        let mut g = Matrix::zeros(region.rows, region.cols);
+        for i in 0..region.rows {
+            for j in 0..region.cols {
+                g[(i, j)] = self.cell(region.row0 + i, region.col0 + j).read_ideal();
+            }
+        }
+        Ok(g)
+    }
+
+    /// Effective conductance matrix including the (optional) first-order
+    /// IR-drop degradation from finite wire resistance: a cell at distance
+    /// `d = i + j` segments from the drivers sees its conductance reduced to
+    /// `G / (1 + G·R_wire·d)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RegionOutOfBounds`] for invalid regions.
+    pub fn effective_conductances(&self, region: ActiveRegion) -> Result<Matrix, ArrayError> {
+        let mut g = self.conductances_ideal(region)?;
+        let r = self.config.wire_resistance;
+        if r > 0.0 {
+            for i in 0..region.rows {
+                for j in 0..region.cols {
+                    let d = (i + j) as f64;
+                    let gij = g[(i, j)];
+                    g[(i, j)] = gij / (1.0 + gij * r * d);
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Analog MVM fast path: drives the region's columns with `v_cols` volts
+    /// and returns the per-row currents `I = G·v` in amperes, with read
+    /// noise aggregated per output.
+    ///
+    /// For independent multiplicative per-cell read noise of relative sigma
+    /// σ, the output current noise is exactly Gaussian with standard
+    /// deviation `σ·√(Σ_j (G_ij·v_j)²)`, so sampling per-output is
+    /// distribution-exact and O(n) faster than per-cell sampling. (Validated
+    /// against per-cell sampling in tests.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::ShapeMismatch`] if `v_cols.len() != region.cols`
+    /// and [`ArrayError::RegionOutOfBounds`] for invalid regions.
+    pub fn row_currents<R: Rng + ?Sized>(
+        &self,
+        region: ActiveRegion,
+        v_cols: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, ArrayError> {
+        self.check_region(region)?;
+        if v_cols.len() != region.cols {
+            return Err(ArrayError::ShapeMismatch {
+                expected: (region.cols, 1),
+                found: (v_cols.len(), 1),
+            });
+        }
+        let g = self.effective_conductances(region)?;
+        let sigma = self.config.noise.read_rel_sigma;
+        let mut out = Vec::with_capacity(region.rows);
+        for i in 0..region.rows {
+            let mut sum = 0.0;
+            let mut var = 0.0;
+            for j in 0..region.cols {
+                let term = g[(i, j)] * v_cols[j];
+                sum += term;
+                var += term * term;
+            }
+            let noise = if sigma > 0.0 {
+                sigma * var.sqrt() * standard_normal(rng)
+            } else {
+                0.0
+            };
+            out.push(sum + noise);
+        }
+        Ok(out)
+    }
+
+    /// Transposed MVM fast path: drives the region's rows with `v_rows`
+    /// volts and returns the per-column currents `I = Gᵀ·v`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`row_currents`](Self::row_currents).
+    pub fn col_currents<R: Rng + ?Sized>(
+        &self,
+        region: ActiveRegion,
+        v_rows: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, ArrayError> {
+        self.check_region(region)?;
+        if v_rows.len() != region.rows {
+            return Err(ArrayError::ShapeMismatch {
+                expected: (region.rows, 1),
+                found: (v_rows.len(), 1),
+            });
+        }
+        let g = self.effective_conductances(region)?;
+        let sigma = self.config.noise.read_rel_sigma;
+        let mut out = Vec::with_capacity(region.cols);
+        for j in 0..region.cols {
+            let mut sum = 0.0;
+            let mut var = 0.0;
+            for i in 0..region.rows {
+                let term = g[(i, j)] * v_rows[i];
+                sum += term;
+                var += term * term;
+            }
+            let noise = if sigma > 0.0 {
+                sigma * var.sqrt() * standard_normal(rng)
+            } else {
+                0.0
+            };
+            out.push(sum + noise);
+        }
+        Ok(out)
+    }
+
+    /// Directly programs a region to the given target conductances (in
+    /// siemens) by setting each cell's filament gap, bypassing pulse-level
+    /// simulation. `sigma_levels` adds Gaussian programming error in level
+    /// units, emulating the residual error the write-verify loop leaves
+    /// behind (its tolerance band).
+    ///
+    /// This is the fast path used by the LeNet pipeline; the full pulse-level
+    /// path lives in [`crate::WriteVerifyController`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RegionOutOfBounds`] or
+    /// [`ArrayError::ShapeMismatch`].
+    pub fn program_direct<R: Rng + ?Sized>(
+        &mut self,
+        region: ActiveRegion,
+        targets: &Matrix,
+        quantizer: &LevelQuantizer,
+        sigma_levels: f64,
+        rng: &mut R,
+    ) -> Result<(), ArrayError> {
+        self.check_region(region)?;
+        if targets.shape() != region.shape() {
+            return Err(ArrayError::ShapeMismatch {
+                expected: region.shape(),
+                found: targets.shape(),
+            });
+        }
+        for i in 0..region.rows {
+            for j in 0..region.cols {
+                let mut g = targets[(i, j)];
+                if sigma_levels > 0.0 {
+                    g += sigma_levels * quantizer.step() * standard_normal(rng);
+                }
+                let g = g.clamp(quantizer.g_min(), quantizer.g_max());
+                self.cell_mut(region.row0 + i, region.col0 + j).program_conductance(g);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Local standard-normal sampler (Box–Muller).
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gramc_device::MICRO_SIEMENS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ideal_array(rows: usize, cols: usize, seed: u64) -> (CrossbarArray, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xbar = CrossbarArray::new(ArrayConfig::ideal(rows, cols), &mut rng);
+        (xbar, rng)
+    }
+
+    #[test]
+    fn fresh_array_is_high_resistance() {
+        let (xbar, mut rng) = ideal_array(4, 4, 1);
+        let g = xbar.conductances(ActiveRegion::full(4, 4), &mut rng).unwrap();
+        assert!(g.max_abs() < 2.0 * MICRO_SIEMENS);
+    }
+
+    #[test]
+    fn region_bounds_checked() {
+        let (xbar, mut rng) = ideal_array(4, 4, 2);
+        let bad = ActiveRegion { row0: 2, col0: 2, rows: 4, cols: 4 };
+        assert!(matches!(
+            xbar.conductances(bad, &mut rng),
+            Err(ArrayError::RegionOutOfBounds { .. })
+        ));
+        let empty = ActiveRegion { row0: 0, col0: 0, rows: 0, cols: 1 };
+        assert!(xbar.check_region(empty).is_err());
+    }
+
+    #[test]
+    fn program_direct_hits_targets() {
+        let (mut xbar, mut rng) = ideal_array(3, 3, 3);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(3, 3);
+        let targets = Matrix::from_fn(3, 3, |i, j| q.conductance_of((i * 3 + j) % 16));
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+        let g = xbar.conductances_ideal(region).unwrap();
+        assert!(g.approx_eq(&targets, 1e-10), "{g:?} vs {targets:?}");
+    }
+
+    #[test]
+    fn row_currents_match_g_times_v() {
+        let (mut xbar, mut rng) = ideal_array(3, 2, 4);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(3, 2);
+        let targets = Matrix::from_fn(3, 2, |i, j| q.conductance_of(2 * i + j + 1));
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+        let v = [0.1, -0.2];
+        let i = xbar.row_currents(region, &v, &mut rng).unwrap();
+        let expected = targets.matvec(&v);
+        for (a, b) in i.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-15, "{i:?} vs {expected:?}");
+        }
+    }
+
+    #[test]
+    fn col_currents_are_transposed_mvm() {
+        let (mut xbar, mut rng) = ideal_array(2, 3, 5);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(2, 3);
+        let targets = Matrix::from_fn(2, 3, |i, j| q.conductance_of(3 * i + j + 2));
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+        let v = [0.15, -0.05];
+        let i = xbar.col_currents(region, &v, &mut rng).unwrap();
+        let expected = targets.tr_matvec(&v);
+        for (a, b) in i.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn aggregated_noise_matches_per_cell_statistics() {
+        // The per-output noise shortcut must match brute-force per-cell
+        // sampling in mean and standard deviation.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cfg = ArrayConfig::ideal(4, 4);
+        cfg.noise.read_rel_sigma = 0.05;
+        let mut xbar = CrossbarArray::new(cfg, &mut rng);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(4, 4);
+        let targets = Matrix::from_fn(4, 4, |i, j| q.conductance_of((5 * i + j) % 16));
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+        let v = [0.2, 0.1, -0.1, 0.05];
+
+        let n = 4000;
+        let mut agg_sum = 0.0;
+        let mut agg_sq = 0.0;
+        let mut cell_sum = 0.0;
+        let mut cell_sq = 0.0;
+        for _ in 0..n {
+            let fast = xbar.row_currents(region, &v, &mut rng).unwrap()[0];
+            agg_sum += fast;
+            agg_sq += fast * fast;
+            // Brute force: sample each cell independently.
+            let mut slow = 0.0;
+            for j in 0..4 {
+                let g = xbar.cell(0, j).read(&mut rng);
+                slow += g * v[j];
+            }
+            cell_sum += slow;
+            cell_sq += slow * slow;
+        }
+        let (m1, m2) = (agg_sum / n as f64, cell_sum / n as f64);
+        let s1 = (agg_sq / n as f64 - m1 * m1).sqrt();
+        let s2 = (cell_sq / n as f64 - m2 * m2).sqrt();
+        assert!((m1 - m2).abs() / m2.abs() < 0.02, "means {m1} vs {m2}");
+        assert!((s1 - s2).abs() / s2 < 0.15, "stds {s1} vs {s2}");
+    }
+
+    #[test]
+    fn wire_resistance_reduces_far_cell_conductance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cfg = ArrayConfig::ideal(4, 4);
+        cfg.wire_resistance = 100.0;
+        let mut xbar = CrossbarArray::new(cfg, &mut rng);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(4, 4);
+        let targets = Matrix::filled(4, 4, 50.0 * MICRO_SIEMENS);
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+        let g = xbar.effective_conductances(region).unwrap();
+        assert!(g[(0, 0)] > g[(3, 3)], "IR drop should penalize far cells");
+        assert!((g[(0, 0)] - 50.0 * MICRO_SIEMENS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_length_is_validated() {
+        let (xbar, mut rng) = ideal_array(3, 2, 8);
+        let region = ActiveRegion::full(3, 2);
+        assert!(xbar.row_currents(region, &[0.1], &mut rng).is_err());
+        assert!(xbar.col_currents(region, &[0.1, 0.1], &mut rng).is_err());
+    }
+
+    #[test]
+    fn programming_error_sigma_spreads_conductance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut xbar = CrossbarArray::new(ArrayConfig::ideal(16, 16), &mut rng);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(16, 16);
+        let targets = Matrix::filled(16, 16, 50.0 * MICRO_SIEMENS);
+        xbar.program_direct(region, &targets, &q, 0.4, &mut rng).unwrap();
+        let g = xbar.conductances_ideal(region).unwrap();
+        let mean: f64 = g.as_slice().iter().sum::<f64>() / 256.0;
+        let std: f64 =
+            (g.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 256.0).sqrt();
+        let expected = 0.4 * q.step();
+        assert!((std - expected).abs() / expected < 0.35, "std {std} vs {expected}");
+    }
+}

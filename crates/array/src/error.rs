@@ -1,0 +1,85 @@
+//! Error type for crossbar-array operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by crossbar and mapping operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArrayError {
+    /// The requested active region does not fit inside the array.
+    RegionOutOfBounds {
+        /// Requested region as `(row0, col0, rows, cols)`.
+        region: (usize, usize, usize, usize),
+        /// Physical array shape.
+        array: (usize, usize),
+    },
+    /// A level/target matrix has the wrong shape for the selected region.
+    ShapeMismatch {
+        /// Shape required by the operation.
+        expected: (usize, usize),
+        /// Shape that was supplied.
+        found: (usize, usize),
+    },
+    /// A conductance level exceeds the quantizer's range.
+    LevelOutOfRange {
+        /// The offending level.
+        level: usize,
+        /// Highest representable level.
+        max: usize,
+    },
+    /// Write-verify gave up on one or more cells.
+    ProgrammingFailed {
+        /// Number of cells that did not converge.
+        failed_cells: usize,
+        /// Total cells programmed.
+        total_cells: usize,
+    },
+    /// An argument was outside the routine's domain.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::RegionOutOfBounds { region, array } => write!(
+                f,
+                "region (r0={}, c0={}, {}x{}) exceeds array {}x{}",
+                region.0, region.1, region.2, region.3, array.0, array.1
+            ),
+            ArrayError::ShapeMismatch { expected, found } => write!(
+                f,
+                "shape mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            ArrayError::LevelOutOfRange { level, max } => {
+                write!(f, "conductance level {level} exceeds maximum {max}")
+            }
+            ArrayError::ProgrammingFailed { failed_cells, total_cells } => {
+                write!(f, "write-verify failed on {failed_cells} of {total_cells} cells")
+            }
+            ArrayError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for ArrayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_numbers() {
+        let e = ArrayError::RegionOutOfBounds { region: (120, 0, 16, 16), array: (128, 128) };
+        assert!(e.to_string().contains("128x128"));
+        let e = ArrayError::LevelOutOfRange { level: 17, max: 15 };
+        assert!(e.to_string().contains("17"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArrayError>();
+    }
+}

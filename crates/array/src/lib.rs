@@ -1,0 +1,47 @@
+//! # gramc-array
+//!
+//! Crossbar-array substrate for GRAMC: the 128×128 1T1R array with its
+//! region-selecting drivers, the paper's on-chip write-verify scheme
+//! (Fig. 1 / blue path of Fig. 3), and the signed/bit-sliced conductance
+//! mapping used by all four analog matrix primitives.
+//!
+//! Layering:
+//!
+//! * [`CrossbarArray`] — cells + drivers + analog read/MVM fast paths,
+//! * [`WriteVerifyController`] — pulse-level program-and-verify, plus the
+//!   Fig. 1(b)/(c) staircase experiments ([`set_staircase`] /
+//!   [`reset_staircase`]),
+//! * [`ConductanceMapper`] / [`BitSlicedMatrix`] — signed 4-bit and sliced
+//!   8-bit matrix encodings with current decoders.
+//!
+//! # Examples
+//!
+//! ```
+//! use gramc_array::{CrossbarArray, ArrayConfig, ActiveRegion, WriteVerifyController};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), gramc_array::ArrayError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let mut xbar = CrossbarArray::new(ArrayConfig::ideal(2, 2), &mut rng);
+//! let wv = WriteVerifyController::paper_default();
+//! let region = ActiveRegion::full(2, 2);
+//! let report = wv.program_region(&mut xbar, region, &[3, 7, 11, 15], &mut rng)?;
+//! assert_eq!(report.failures, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod crossbar;
+mod error;
+mod mapping;
+mod write_verify;
+
+pub use crossbar::{ActiveRegion, ArrayConfig, CrossbarArray, PAPER_ARRAY_SIZE};
+pub use error::ArrayError;
+pub use mapping::{BitSlicedMatrix, ConductanceMapper, LevelMatrix, MappedMatrix, SignedEncoding};
+pub use write_verify::{
+    reset_staircase, set_staircase, CellReport, ProgramReport, StaircasePoint,
+    WriteVerifyConfig, WriteVerifyController,
+};

@@ -1,0 +1,472 @@
+//! Matrix → conductance mapping.
+//!
+//! The paper maps signed real matrices onto 4-bit conductance levels
+//! ("all matrices were mapped to one or two RRAM arrays with 4-bit
+//! quantization"), and improves MVM precision by bit slicing: "two RRAM
+//! arrays are used to store the most significant 4 bits and the least
+//! significant 4 bits of a weight matrix, respectively".
+//!
+//! Two signed encodings are provided:
+//!
+//! * [`SignedEncoding::Differential`] — each entry is the difference of a
+//!   positive-array and a negative-array conductance. The level-0 baseline
+//!   (1 µS) cancels exactly in the difference.
+//! * [`SignedEncoding::Offset`] — a single array stores `a + a_max` shifted
+//!   into the positive range; the offset is subtracted digitally. Used by
+//!   the ablation study.
+
+use gramc_device::LevelQuantizer;
+use gramc_linalg::Matrix;
+
+use crate::error::ArrayError;
+
+/// How signed matrix entries are represented on unipolar conductances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SignedEncoding {
+    /// Two arrays (or two column groups): `a ∝ G⁺ − G⁻`.
+    #[default]
+    Differential,
+    /// One array with a digital offset: `a ∝ G − G_offset`.
+    Offset,
+}
+
+/// A matrix of discrete conductance levels (what actually gets programmed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl LevelMatrix {
+    /// Creates a level matrix from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), rows * cols, "level buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Level at `(i, j)`.
+    pub fn level(&self, i: usize, j: usize) -> u8 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Row-major level buffer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Levels as `usize` targets for the write-verify controller.
+    pub fn to_targets(&self) -> Vec<usize> {
+        self.data.iter().map(|&l| l as usize).collect()
+    }
+
+    /// Converts levels to target conductances on the given grid.
+    pub fn to_conductances(&self, quantizer: &LevelQuantizer) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            quantizer.conductance_of(self.level(i, j) as usize)
+        })
+    }
+}
+
+/// A signed matrix mapped to conductance levels, with everything needed to
+/// decode analog currents back to matrix units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedMatrix {
+    /// Positive-part levels (or the offset-encoded levels).
+    pub positive: LevelMatrix,
+    /// Negative-part levels (`None` for offset encoding).
+    pub negative: Option<LevelMatrix>,
+    /// Matrix units per level: `a ≈ (level⁺ − level⁻) · scale`.
+    pub scale: f64,
+    /// Level subtracted digitally for offset encoding (half the level range).
+    pub offset_levels: f64,
+    /// Encoding used.
+    pub encoding: SignedEncoding,
+}
+
+impl MappedMatrix {
+    /// Shape of the encoded matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.positive.shape()
+    }
+
+    /// Reconstructs the quantized matrix (what the analog computation
+    /// effectively uses). The difference to the original is the quantization
+    /// error that dominates the paper's ~10 % Fig. 4 accuracy budget.
+    pub fn dequantize(&self) -> Matrix {
+        let (rows, cols) = self.shape();
+        match self.encoding {
+            SignedEncoding::Differential => {
+                let neg = self.negative.as_ref().expect("differential mapping has two arrays");
+                Matrix::from_fn(rows, cols, |i, j| {
+                    (self.positive.level(i, j) as f64 - neg.level(i, j) as f64) * self.scale
+                })
+            }
+            SignedEncoding::Offset => Matrix::from_fn(rows, cols, |i, j| {
+                (self.positive.level(i, j) as f64 - self.offset_levels) * self.scale
+            }),
+        }
+    }
+}
+
+/// Maps real matrices to conductance levels and decodes analog currents.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_array::{ConductanceMapper, SignedEncoding};
+/// use gramc_device::LevelQuantizer;
+/// use gramc_linalg::Matrix;
+///
+/// let mapper = ConductanceMapper::new(LevelQuantizer::paper_default(), SignedEncoding::Differential);
+/// let a = Matrix::from_rows(&[&[0.5, -1.0], &[0.25, 0.0]]);
+/// let mapped = mapper.map(&a).unwrap();
+/// let a_hat = mapped.dequantize();
+/// // 4-bit quantization: worst-case error is half a level.
+/// assert!((&a_hat - &a).max_abs() <= mapped.scale * 0.5 + 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConductanceMapper {
+    quantizer: LevelQuantizer,
+    encoding: SignedEncoding,
+}
+
+impl ConductanceMapper {
+    /// Creates a mapper for the given level grid and signed encoding.
+    pub fn new(quantizer: LevelQuantizer, encoding: SignedEncoding) -> Self {
+        Self { quantizer, encoding }
+    }
+
+    /// The paper's default: 4-bit differential mapping on 1–100 µS.
+    pub fn paper_default() -> Self {
+        Self::new(LevelQuantizer::paper_default(), SignedEncoding::Differential)
+    }
+
+    /// The level grid.
+    pub fn quantizer(&self) -> &LevelQuantizer {
+        &self.quantizer
+    }
+
+    /// The signed encoding.
+    pub fn encoding(&self) -> SignedEncoding {
+        self.encoding
+    }
+
+    /// Maps matrix `a` to conductance levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::InvalidArgument`] if `a` is empty or all-zero
+    /// (no scale can be defined).
+    pub fn map(&self, a: &Matrix) -> Result<MappedMatrix, ArrayError> {
+        let (rows, cols) = a.shape();
+        if rows == 0 || cols == 0 {
+            return Err(ArrayError::InvalidArgument("cannot map an empty matrix"));
+        }
+        let a_max = a.max_abs();
+        if a_max == 0.0 {
+            return Err(ArrayError::InvalidArgument("cannot map an all-zero matrix"));
+        }
+        let max_level = self.quantizer.max_level() as f64;
+        match self.encoding {
+            SignedEncoding::Differential => {
+                let scale = a_max / max_level;
+                let mut pos = Vec::with_capacity(rows * cols);
+                let mut neg = Vec::with_capacity(rows * cols);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let v = a[(i, j)] / scale; // in [-max_level, max_level]
+                        let lvl = v.abs().round().min(max_level) as u8;
+                        if a[(i, j)] >= 0.0 {
+                            pos.push(lvl);
+                            neg.push(0);
+                        } else {
+                            pos.push(0);
+                            neg.push(lvl);
+                        }
+                    }
+                }
+                Ok(MappedMatrix {
+                    positive: LevelMatrix::from_vec(rows, cols, pos),
+                    negative: Some(LevelMatrix::from_vec(rows, cols, neg)),
+                    scale,
+                    offset_levels: 0.0,
+                    encoding: self.encoding,
+                })
+            }
+            SignedEncoding::Offset => {
+                // a ∈ [−a_max, a_max] shifted to [0, max_level].
+                let offset_levels = max_level / 2.0;
+                let scale = a_max / offset_levels;
+                let mut levels = Vec::with_capacity(rows * cols);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let v = a[(i, j)] / scale + offset_levels;
+                        levels.push(v.round().clamp(0.0, max_level) as u8);
+                    }
+                }
+                Ok(MappedMatrix {
+                    positive: LevelMatrix::from_vec(rows, cols, levels),
+                    negative: None,
+                    scale,
+                    offset_levels,
+                    encoding: self.encoding,
+                })
+            }
+        }
+    }
+
+    /// Decodes differential analog currents back to matrix units:
+    /// `y = (I⁺ − I⁻) / (ΔG·scale⁻¹·V)` — concretely, given currents from
+    /// the positive and negative arrays driven by the *same* voltages,
+    /// returns the equivalent `A·v` in matrix units, where the drive encoded
+    /// `v` in volts-per-unit `v_scale`.
+    ///
+    /// For offset encoding, pass the offset current `I_off = G_off·Σv` via
+    /// `i_neg` (computed digitally from the voltage sum).
+    pub fn decode_currents(
+        &self,
+        mapped: &MappedMatrix,
+        i_pos: &[f64],
+        i_neg: &[f64],
+        v_scale: f64,
+    ) -> Vec<f64> {
+        let conv = mapped.scale / (self.quantizer.step() * v_scale);
+        i_pos.iter().zip(i_neg).map(|(p, n)| (p - n) * conv).collect()
+    }
+}
+
+/// An 8-bit weight matrix sliced into MSB/LSB nibbles (paper Fig. 5's INT8
+/// path): `|a| ≈ (16·hi + lo) · scale`, with the sign handled by the
+/// differential pair of each nibble array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitSlicedMatrix {
+    /// MSB nibble, positive part.
+    pub hi_pos: LevelMatrix,
+    /// MSB nibble, negative part.
+    pub hi_neg: LevelMatrix,
+    /// LSB nibble, positive part.
+    pub lo_pos: LevelMatrix,
+    /// LSB nibble, negative part.
+    pub lo_neg: LevelMatrix,
+    /// Matrix units per integer unit: `a ≈ int8 · scale`, `int8 ∈ [−255, 255]`.
+    pub scale: f64,
+}
+
+impl BitSlicedMatrix {
+    /// Slices `a` into two 4-bit nibble planes with differential sign
+    /// encoding (8-bit magnitude in total).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::InvalidArgument`] if `a` is empty or all-zero.
+    pub fn map(a: &Matrix) -> Result<Self, ArrayError> {
+        let (rows, cols) = a.shape();
+        if rows == 0 || cols == 0 {
+            return Err(ArrayError::InvalidArgument("cannot map an empty matrix"));
+        }
+        let a_max = a.max_abs();
+        if a_max == 0.0 {
+            return Err(ArrayError::InvalidArgument("cannot map an all-zero matrix"));
+        }
+        let scale = a_max / 255.0;
+        let n = rows * cols;
+        let (mut hp, mut hn, mut lp, mut ln_) =
+            (Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n));
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = a[(i, j)];
+                let mag = (v.abs() / scale).round().min(255.0) as u16;
+                let hi = (mag >> 4) as u8;
+                let lo = (mag & 0xF) as u8;
+                if v >= 0.0 {
+                    hp.push(hi);
+                    lp.push(lo);
+                    hn.push(0);
+                    ln_.push(0);
+                } else {
+                    hp.push(0);
+                    lp.push(0);
+                    hn.push(hi);
+                    ln_.push(lo);
+                }
+            }
+        }
+        Ok(Self {
+            hi_pos: LevelMatrix::from_vec(rows, cols, hp),
+            hi_neg: LevelMatrix::from_vec(rows, cols, hn),
+            lo_pos: LevelMatrix::from_vec(rows, cols, lp),
+            lo_neg: LevelMatrix::from_vec(rows, cols, ln_),
+            scale,
+        })
+    }
+
+    /// Shape of the encoded matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.hi_pos.shape()
+    }
+
+    /// Reconstructs the 8-bit-quantized matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let (rows, cols) = self.shape();
+        Matrix::from_fn(rows, cols, |i, j| {
+            let pos = 16.0 * self.hi_pos.level(i, j) as f64 + self.lo_pos.level(i, j) as f64;
+            let neg = 16.0 * self.hi_neg.level(i, j) as f64 + self.lo_neg.level(i, j) as f64;
+            (pos - neg) * self.scale
+        })
+    }
+
+    /// Recombines nibble-plane currents digitally:
+    /// `y = (16·(I_hi⁺ − I_hi⁻) + (I_lo⁺ − I_lo⁻)) · scale / (ΔG·v_scale)`.
+    pub fn decode_currents(
+        &self,
+        quantizer: &LevelQuantizer,
+        i_hi_pos: &[f64],
+        i_hi_neg: &[f64],
+        i_lo_pos: &[f64],
+        i_lo_neg: &[f64],
+        v_scale: f64,
+    ) -> Vec<f64> {
+        let conv = self.scale / (quantizer.step() * v_scale);
+        i_hi_pos
+            .iter()
+            .zip(i_hi_neg)
+            .zip(i_lo_pos.iter().zip(i_lo_neg))
+            .map(|((hp, hn), (lp, ln_))| (16.0 * (hp - hn) + (lp - ln_)) * conv)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gramc_linalg::random::{gaussian_matrix, seeded_rng};
+
+    #[test]
+    fn differential_quantization_error_is_half_level() {
+        let mut rng = seeded_rng(31);
+        let a = gaussian_matrix(&mut rng, 10, 10);
+        let mapper = ConductanceMapper::paper_default();
+        let mapped = mapper.map(&a).unwrap();
+        let err = (&mapped.dequantize() - &a).max_abs();
+        assert!(err <= 0.5 * mapped.scale + 1e-12, "err {err}");
+    }
+
+    #[test]
+    fn differential_preserves_signs() {
+        let a = Matrix::from_rows(&[&[1.0, -1.0], &[-0.5, 0.5]]);
+        let mapped = ConductanceMapper::paper_default().map(&a).unwrap();
+        let neg = mapped.negative.as_ref().unwrap();
+        assert_eq!(mapped.positive.level(0, 0), 15);
+        assert_eq!(neg.level(0, 0), 0);
+        assert_eq!(mapped.positive.level(0, 1), 0);
+        assert_eq!(neg.level(0, 1), 15);
+    }
+
+    #[test]
+    fn offset_encoding_roundtrips_within_one_level() {
+        let mut rng = seeded_rng(32);
+        let a = gaussian_matrix(&mut rng, 8, 8);
+        let mapper =
+            ConductanceMapper::new(LevelQuantizer::paper_default(), SignedEncoding::Offset);
+        let mapped = mapper.map(&a).unwrap();
+        assert!(mapped.negative.is_none());
+        let err = (&mapped.dequantize() - &a).max_abs();
+        // Offset encoding halves the usable dynamic range: one full level.
+        assert!(err <= 1.0 * mapped.scale + 1e-12, "err {err}");
+    }
+
+    #[test]
+    fn offset_resolution_is_coarser_than_differential() {
+        let mut rng = seeded_rng(33);
+        let a = gaussian_matrix(&mut rng, 12, 12);
+        let q = LevelQuantizer::paper_default();
+        let d = ConductanceMapper::new(q.clone(), SignedEncoding::Differential)
+            .map(&a)
+            .unwrap();
+        let o = ConductanceMapper::new(q, SignedEncoding::Offset).map(&a).unwrap();
+        let err_d = (&d.dequantize() - &a).fro_norm();
+        let err_o = (&o.dequantize() - &a).fro_norm();
+        assert!(err_o > err_d, "offset {err_o} should be worse than differential {err_d}");
+    }
+
+    #[test]
+    fn bit_sliced_roundtrip_is_8_bit_accurate() {
+        let mut rng = seeded_rng(34);
+        let a = gaussian_matrix(&mut rng, 10, 10);
+        let sliced = BitSlicedMatrix::map(&a).unwrap();
+        let err = (&sliced.dequantize() - &a).max_abs();
+        assert!(err <= 0.5 * sliced.scale + 1e-12, "err {err}, scale {}", sliced.scale);
+        // 8-bit is 16× finer than 4-bit.
+        let four_bit = ConductanceMapper::paper_default().map(&a).unwrap();
+        assert!(sliced.scale < four_bit.scale / 15.0);
+    }
+
+    #[test]
+    fn nibbles_stay_within_4_bits() {
+        let mut rng = seeded_rng(35);
+        let a = gaussian_matrix(&mut rng, 6, 6);
+        let sliced = BitSlicedMatrix::map(&a).unwrap();
+        for plane in [&sliced.hi_pos, &sliced.hi_neg, &sliced.lo_pos, &sliced.lo_neg] {
+            assert!(plane.as_slice().iter().all(|&l| l <= 15));
+        }
+    }
+
+    #[test]
+    fn decode_currents_inverts_ideal_mvm() {
+        // Ideal conductances + ideal currents must decode to A·v exactly
+        // (up to quantization of A).
+        let a = Matrix::from_rows(&[&[0.8, -0.4], &[0.2, 0.6]]);
+        let mapper = ConductanceMapper::paper_default();
+        let mapped = mapper.map(&a).unwrap();
+        let q = mapper.quantizer();
+        let g_pos = mapped.positive.to_conductances(q);
+        let g_neg = mapped.negative.as_ref().unwrap().to_conductances(q);
+        let v_scale = 0.2; // volts per matrix unit of input
+        let x = [0.5, -1.0];
+        let v: Vec<f64> = x.iter().map(|u| u * v_scale).collect();
+        let i_pos = g_pos.matvec(&v);
+        let i_neg = g_neg.matvec(&v);
+        let y = mapper.decode_currents(&mapped, &i_pos, &i_neg, v_scale);
+        let expected = mapped.dequantize().matvec(&x);
+        for (u, w) in y.iter().zip(&expected) {
+            assert!((u - w).abs() < 1e-9, "{y:?} vs {expected:?}");
+        }
+    }
+
+    #[test]
+    fn bit_sliced_decode_inverts_ideal_mvm() {
+        let a = Matrix::from_rows(&[&[0.7, -0.3], &[-0.9, 0.1]]);
+        let sliced = BitSlicedMatrix::map(&a).unwrap();
+        let q = LevelQuantizer::paper_default();
+        let v_scale = 0.1;
+        let x = [1.0, 0.5];
+        let v: Vec<f64> = x.iter().map(|u| u * v_scale).collect();
+        let i_hp = sliced.hi_pos.to_conductances(&q).matvec(&v);
+        let i_hn = sliced.hi_neg.to_conductances(&q).matvec(&v);
+        let i_lp = sliced.lo_pos.to_conductances(&q).matvec(&v);
+        let i_ln = sliced.lo_neg.to_conductances(&q).matvec(&v);
+        let y = sliced.decode_currents(&q, &i_hp, &i_hn, &i_lp, &i_ln, v_scale);
+        let expected = sliced.dequantize().matvec(&x);
+        for (u, w) in y.iter().zip(&expected) {
+            assert!((u - w).abs() < 1e-9, "{y:?} vs {expected:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_rejected() {
+        let mapper = ConductanceMapper::paper_default();
+        assert!(mapper.map(&Matrix::zeros(0, 0)).is_err());
+        assert!(mapper.map(&Matrix::zeros(3, 3)).is_err());
+        assert!(BitSlicedMatrix::map(&Matrix::zeros(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Timing the four analog computing modes (the red path of Fig. 3) at
+//! several array sizes — the simulation cost behind Fig. 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gramc_core::{MacroConfig, MacroGroup};
+use gramc_data::spiked_gram;
+use gramc_linalg::random;
+use std::time::Duration;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group_b = c.benchmark_group("analog_modes");
+    group_b.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [16usize, 32, 64] {
+        let mut rng = random::seeded_rng(10);
+        let a = random::wishart(&mut rng, n, 16 * n);
+        let gram = spiked_gram(&mut rng, n, 2 * n, 3.0);
+        let x = random::normal_vector(&mut rng, n);
+        let config = MacroConfig { array_rows: n, array_cols: n, ..MacroConfig::default() };
+        let mut group = MacroGroup::new(4, config, 11);
+        let op = group.load_matrix(&a).unwrap();
+        let op_g = group.load_matrix(&gram).unwrap();
+
+        group_b.bench_with_input(BenchmarkId::new("mvm", n), &n, |b, _| {
+            b.iter(|| group.mvm(op, &x).unwrap());
+        });
+        group_b.bench_with_input(BenchmarkId::new("inv_mna", n), &n, |b, _| {
+            b.iter(|| group.solve_inv(op, &x).unwrap());
+        });
+        group_b.bench_with_input(BenchmarkId::new("egv", n), &n, |b, _| {
+            b.iter(|| group.solve_egv(op_g).unwrap());
+        });
+    }
+    group_b.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Regenerates **Fig. 4**: accuracy of the four reconfigured AMC modes
+//! against the numerical baseline, with 4-bit quantization and the paper's
+//! analog noise budget.
+//!
+//! * (a) MVM — 128×128 Wishart matrix,
+//! * (b) INV — 128×128 Wishart matrix, solve `Ax = b`,
+//! * (c) PINV — 128×6 synthetic PM2.5 regression,
+//! * (d) EGV — 128×128 (spiked) Gram matrix, normalized outputs.
+//!
+//! Pass `--quick` to run at n = 32 for smoke-testing.
+//!
+//! ```sh
+//! cargo run -p gramc-bench --release --bin fig4_validation
+//! ```
+
+use gramc_bench::{correlation, format_scatter};
+use gramc_core::{MacroConfig, MacroGroup};
+use gramc_data::{spiked_gram, Pm25Dataset};
+use gramc_linalg::{lu, pseudoinverse, random, vector, SymmetricEigen};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 32 } else { 128 };
+    let rows_shown = 8;
+    let mut rng = random::seeded_rng(44);
+
+    let config = MacroConfig { array_rows: n, array_cols: n, ..MacroConfig::default() };
+    let mut group = MacroGroup::new(4, config, 45);
+
+    // ---------------- Fig. 4(a): MVM on a Wishart matrix -----------------
+    // The paper does not state the Wishart degrees of freedom; INV errors
+    // scale steeply with the condition number (see ablation_nonideal), and
+    // k = 16·n gives κ ≈ 2.3 — the regime consistent with the paper's
+    // ~10 % Fig. 4(b) spread.
+    let wishart = random::wishart(&mut rng, n, 16 * n);
+    let x_in = random::normal_vector(&mut rng, n);
+    let op = group.load_matrix(&wishart).expect("load wishart");
+    let y_analog = group.mvm(op, &x_in).expect("mvm");
+    let y_ideal = wishart.matvec(&x_in);
+    // The paper normalizes axes to the read voltage scale; report raw.
+    println!("{}", format_scatter("Fig. 4(a) MVM — 128×128 Wishart, 4-bit", &y_ideal, &y_analog, rows_shown));
+    println!("scatter correlation: {:.4}\n", correlation(&y_ideal, &y_analog));
+
+    // ---------------- Fig. 4(b): INV on the same Wishart ------------------
+    // Two numerical references: the original matrix A (error then includes
+    // the 4-bit quantization, which conditioning amplifies by ~κ) and the
+    // quantized operator Â actually held in the array (isolates the analog
+    // circuit fidelity — this is the comparison the paper's ~10 % figure is
+    // consistent with; see EXPERIMENTS.md).
+    let b = random::normal_vector(&mut rng, n);
+    let x_analog = group.solve_inv(op, &b).expect("inv");
+    let quantized = group.operator_info(op).expect("info").quantized.clone();
+    let x_ideal = lu::solve(&quantized, &b).expect("lu quantized");
+    let x_full = lu::solve(&wishart, &b).expect("lu");
+    println!(
+        "{}",
+        format_scatter("Fig. 4(b) INV — 128×128 Wishart, 4-bit (vs quantized Â)", &x_ideal, &x_analog, rows_shown)
+    );
+    println!("scatter correlation: {:.4}", correlation(&x_ideal, &x_analog));
+    println!(
+        "vs unquantized A (quantization × conditioning): {:.2} %\n",
+        100.0 * vector::rel_error(&x_analog, &x_full)
+    );
+    group.free_operator(op).expect("free");
+
+    // ---------------- Fig. 4(c): PINV on PM2.5 (128×6) --------------------
+    let samples = if quick { 32 } else { 128 };
+    let ds = Pm25Dataset::generate(&mut rng, samples, 0.05);
+    let op_p = group.load_matrix(&ds.design).expect("load design");
+    let w_analog = group.solve_pinv(op_p, &ds.response).expect("pinv");
+    let w_ideal = pseudoinverse(&ds.design).expect("svd").matvec(&ds.response);
+    println!(
+        "{}",
+        format_scatter("Fig. 4(c) PINV — PM2.5 regression (128×6), 4-bit", &w_ideal, &w_analog, rows_shown)
+    );
+    println!("scatter correlation: {:.4}\n", correlation(&w_ideal, &w_analog));
+    group.free_operator(op_p).expect("free");
+
+    // ---------------- Fig. 4(d): EGV on a Gram matrix ---------------------
+    let gram = spiked_gram(&mut rng, n, 2 * n, 3.0);
+    let op_g = group.load_matrix(&gram).expect("load gram");
+    let sol = group.solve_egv(op_g).expect("egv");
+    let eig = SymmetricEigen::new(&gram).expect("eigen");
+    let mut v_ref = eig.eigenvector(0);
+    // Sign-align for the scatter.
+    if vector::dot(&sol.eigenvector, &v_ref) < 0.0 {
+        for v in v_ref.iter_mut() {
+            *v = -*v;
+        }
+    }
+    println!(
+        "{}",
+        format_scatter(
+            "Fig. 4(d) EGV — Gram matrix (128×128), normalized outputs, 4-bit",
+            &v_ref,
+            &sol.eigenvector,
+            rows_shown
+        )
+    );
+    println!("scatter correlation: {:.4}", correlation(&v_ref, &sol.eigenvector));
+    println!(
+        "eigenvalue: analog(Rayleigh) {:.4} vs digital {:.4} (λ level {})",
+        sol.eigenvalue, eig.eigenvalues[0], sol.lambda_level
+    );
+
+    println!("\n# Summary (paper: \"relative errors around ten percent\")");
+    println!("(INV reference = quantized operator; see note above)");
+    for (name, ideal, analog) in [
+        ("MVM ", &y_ideal, &y_analog),
+        ("INV ", &x_ideal, &x_analog),
+        ("PINV", &w_ideal, &w_analog),
+        ("EGV ", &v_ref, &sol.eigenvector),
+    ] {
+        println!("{name}: {:6.2} %", 100.0 * vector::rel_error(analog, ideal));
+    }
+}

@@ -1,0 +1,70 @@
+//! Supplemental scaling study (EXPERIMENTS.md E8): the analog one-step
+//! solver's O(1) settling versus digital O(n³) factorization — the paper's
+//! "high speed and low power" claim made quantitative with the cost models
+//! of `gramc_core::metrics`.
+//!
+//! ```sh
+//! cargo run -p gramc-bench --release --bin scaling_model
+//! ```
+
+use gramc_core::metrics::{AnalogCostModel, DigitalCostModel};
+use std::time::Instant;
+
+use gramc_linalg::{lu, random};
+
+fn main() {
+    let analog = AnalogCostModel::default();
+    let digital = DigitalCostModel::default();
+
+    println!("# Analog vs digital INV solve (model)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10} {:>14} {:>14}",
+        "n", "analog lat(s)", "digital lat(s)", "speedup", "analog E(J)", "digital E(J)"
+    );
+    for n in [8usize, 16, 32, 64, 128] {
+        let a = analog.solve(n);
+        let d = digital.lu_solve(n);
+        println!(
+            "{:>6} {:>14.3e} {:>14.3e} {:>10.1} {:>14.3e} {:>14.3e}",
+            n,
+            a.latency,
+            d.latency,
+            d.latency / a.latency,
+            a.energy,
+            d.energy
+        );
+    }
+
+    println!("\n# Measured digital LU wall time on this machine (sanity anchor)");
+    println!("{:>6} {:>14}", "n", "measured (s)");
+    let mut rng = random::seeded_rng(70);
+    for n in [32usize, 64, 128, 256] {
+        let a = random::spd_with_condition(&mut rng, n, 10.0);
+        let b = random::normal_vector(&mut rng, n);
+        let start = Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            let _ = lu::solve(&a, &b).expect("solve");
+        }
+        println!("{:>6} {:>14.3e}", n, start.elapsed().as_secs_f64() / reps as f64);
+    }
+
+    println!("\n# Programming amortization: write-verify cost vs solves per matrix");
+    let n = 128;
+    let program = analog.program(n, 20.0);
+    println!(
+        "programming a {n}×{n} operator: {:.3e} s, {:.3e} J (20 pulses/cell avg)",
+        program.latency, program.energy
+    );
+    for solves in [1usize, 10, 100, 1000] {
+        let total_analog = program.latency + solves as f64 * analog.solve(n).latency;
+        let total_digital = solves as f64 * digital.lu_solve(n).latency;
+        println!(
+            "{:>6} solves: analog total {:.3e} s vs digital {:.3e} s ({}x)",
+            solves,
+            total_analog,
+            total_digital,
+            (total_digital / total_analog) as i64
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! DC operating-point solver via modified nodal analysis (MNA).
+//!
+//! Unknowns are the non-ground node voltages plus one branch current per
+//! voltage source and per op-amp output. Op-amps stamp their behavioural
+//! constraint directly:
+//!
+//! * ideal:        `v⁺ + V_os − v⁻ = 0`
+//! * finite gain:  `v_out − A·(v⁺ + V_os − v⁻) = 0`
+
+use gramc_linalg::{LuDecomposition, Matrix};
+
+use crate::error::CircuitError;
+use crate::netlist::{Circuit, Node};
+
+/// Solution of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    node_voltages: Vec<f64>, // index 0 = ground = 0.0
+    branch_currents: Vec<f64>,
+    vsrc_count: usize,
+}
+
+impl DcSolution {
+    /// Voltage at `node` in volts.
+    pub fn voltage(&self, node: Node) -> f64 {
+        self.node_voltages[node.index()]
+    }
+
+    /// Voltages at several nodes.
+    pub fn voltages(&self, nodes: &[Node]) -> Vec<f64> {
+        nodes.iter().map(|&n| self.voltage(n)).collect()
+    }
+
+    /// Current through the `k`-th voltage source (positive into its `plus`
+    /// terminal from the circuit).
+    pub fn voltage_source_current(&self, k: usize) -> f64 {
+        self.branch_currents[k]
+    }
+
+    /// Output current supplied by the `k`-th op-amp.
+    pub fn opamp_output_current(&self, k: usize) -> f64 {
+        self.branch_currents[self.vsrc_count + k]
+    }
+}
+
+/// Solves the DC operating point of `circuit`.
+///
+/// # Errors
+///
+/// * [`CircuitError::SingularSystem`] for floating nodes or ill-posed
+///   feedback (e.g. an op-amp whose inputs are not connected to anything).
+pub fn dc_solve(circuit: &Circuit) -> Result<DcSolution, CircuitError> {
+    let nv = circuit.node_count - 1; // unknown node voltages (ground excluded)
+    let nvs = circuit.voltage_sources.len();
+    let nop = circuit.opamps.len();
+    let dim = nv + nvs + nop;
+    if dim == 0 {
+        return Ok(DcSolution {
+            node_voltages: vec![0.0],
+            branch_currents: Vec::new(),
+            vsrc_count: 0,
+        });
+    }
+    let mut a = Matrix::zeros(dim, dim);
+    let mut rhs = vec![0.0; dim];
+
+    // Map node -> MNA row/col (ground has none).
+    let idx = |n: Node| -> Option<usize> { if n.index() == 0 { None } else { Some(n.index() - 1) } };
+
+    for e in &circuit.conductances {
+        if e.g == 0.0 {
+            continue;
+        }
+        match (idx(e.a), idx(e.b)) {
+            (Some(i), Some(j)) => {
+                a[(i, i)] += e.g;
+                a[(j, j)] += e.g;
+                a[(i, j)] -= e.g;
+                a[(j, i)] -= e.g;
+            }
+            (Some(i), None) | (None, Some(i)) => a[(i, i)] += e.g,
+            (None, None) => {}
+        }
+    }
+
+    for e in &circuit.current_sources {
+        if let Some(i) = idx(e.into) {
+            rhs[i] += e.i;
+        }
+        if let Some(i) = idx(e.from) {
+            rhs[i] -= e.i;
+        }
+    }
+
+    // Voltage sources: branch current unknown k flows from `plus` through
+    // the external circuit (i.e. it is supplied into the `plus` node).
+    for (k, e) in circuit.voltage_sources.iter().enumerate() {
+        let col = nv + k;
+        if let Some(i) = idx(e.plus) {
+            a[(i, col)] += 1.0;
+            a[(col, i)] += 1.0;
+        }
+        if let Some(i) = idx(e.minus) {
+            a[(i, col)] -= 1.0;
+            a[(col, i)] -= 1.0;
+        }
+        rhs[col] = e.v;
+    }
+
+    // Op-amps: output branch current + behavioural constraint row.
+    for (k, e) in circuit.opamps.iter().enumerate() {
+        let col = nv + nvs + k;
+        if let Some(i) = idx(e.out) {
+            a[(i, col)] += 1.0;
+        }
+        match e.model.gain {
+            None => {
+                // Ideal: v+ + offset - v- = 0.
+                if let Some(i) = idx(e.inp) {
+                    a[(col, i)] += 1.0;
+                }
+                if let Some(i) = idx(e.inn) {
+                    a[(col, i)] -= 1.0;
+                }
+                rhs[col] = -e.model.offset;
+            }
+            Some(gain) => {
+                // v_out - A (v+ + offset - v-) = 0.
+                if let Some(i) = idx(e.out) {
+                    a[(col, i)] += 1.0;
+                }
+                if let Some(i) = idx(e.inp) {
+                    a[(col, i)] -= gain;
+                }
+                if let Some(i) = idx(e.inn) {
+                    a[(col, i)] += gain;
+                }
+                rhs[col] = gain * e.model.offset;
+            }
+        }
+    }
+
+    let lu = LuDecomposition::new(&a).map_err(CircuitError::from)?;
+    let x = lu.solve(&rhs).map_err(CircuitError::from)?;
+
+    let mut node_voltages = Vec::with_capacity(nv + 1);
+    node_voltages.push(0.0);
+    node_voltages.extend_from_slice(&x[..nv]);
+    let branch_currents = x[nv..].to_vec();
+    Ok(DcSolution { node_voltages, branch_currents, vsrc_count: nvs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::OpampModel;
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let top = c.node();
+        let mid = c.node();
+        c.voltage_source(top, Circuit::GROUND, 2.0);
+        c.conductance(top, mid, 1e-3);
+        c.conductance(mid, Circuit::GROUND, 3e-3);
+        let sol = dc_solve(&c).unwrap();
+        assert!((sol.voltage(mid) - 0.5).abs() < 1e-12);
+        // Source current: 2.0 V across 1/(1e-3) + 1/(3e-3) = 1333.3 Ω.
+        let i = sol.voltage_source_current(0);
+        assert!((i + 1.5e-3).abs() < 1e-12, "source current {i}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.current_source(Circuit::GROUND, n, 1e-3);
+        c.conductance(n, Circuit::GROUND, 1e-3);
+        let sol = dc_solve(&c).unwrap();
+        assert!((sol.voltage(n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverting_amplifier_ideal() {
+        // Standard inverting amp: gain = -R_f/R_in = -2.
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let inn = c.node();
+        let out = c.node();
+        c.voltage_source(vin, Circuit::GROUND, 0.3);
+        c.conductance(vin, inn, 1e-3); // R_in = 1k
+        c.conductance(out, inn, 0.5e-3); // R_f = 2k
+        c.opamp(Circuit::GROUND, inn, out, OpampModel::ideal());
+        let sol = dc_solve(&c).unwrap();
+        assert!((sol.voltage(out) + 0.6).abs() < 1e-12);
+        assert!(sol.voltage(inn).abs() < 1e-12, "virtual ground violated");
+    }
+
+    #[test]
+    fn inverting_amplifier_finite_gain_approaches_ideal() {
+        let gains = [1e2, 1e4, 1e6];
+        let mut errs = Vec::new();
+        for g in gains {
+            let mut c = Circuit::new();
+            let vin = c.node();
+            let inn = c.node();
+            let out = c.node();
+            c.voltage_source(vin, Circuit::GROUND, 0.3);
+            c.conductance(vin, inn, 1e-3);
+            c.conductance(out, inn, 1e-3);
+            c.opamp(Circuit::GROUND, inn, out, OpampModel::with_gain(g));
+            let sol = dc_solve(&c).unwrap();
+            errs.push((sol.voltage(out) + 0.3).abs());
+        }
+        assert!(errs[0] > errs[1] && errs[1] > errs[2], "{errs:?}");
+        assert!(errs[2] < 1e-6);
+    }
+
+    #[test]
+    fn opamp_offset_appears_at_output() {
+        // Unity-gain buffer with offset: output = vin + offset.
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let out = c.node();
+        c.voltage_source(vin, Circuit::GROUND, 0.5);
+        // Buffer: inp = vin, inn = out (direct feedback).
+        c.opamp(vin, out, out, OpampModel::ideal().offset(2e-3));
+        let sol = dc_solve(&c).unwrap();
+        assert!((sol.voltage(out) - 0.502).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tia_converts_current_to_voltage() {
+        let mut c = Circuit::new();
+        let vg = c.node();
+        c.current_source(Circuit::GROUND, vg, 5e-6);
+        let out = c.tia(vg, 1e-4, OpampModel::ideal()); // R_f = 10k
+        let sol = dc_solve(&c).unwrap();
+        // I into virtual ground flows through feedback: V_out = -I/G_f.
+        assert!((sol.voltage(out) + 0.05).abs() < 1e-12);
+        assert!(sol.voltage(vg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverter_flips_sign() {
+        let mut c = Circuit::new();
+        let vin = c.node();
+        c.voltage_source(vin, Circuit::GROUND, 0.42);
+        let out = c.inverter(vin, 1e-3, OpampModel::ideal());
+        let sol = dc_solve(&c).unwrap();
+        assert!((sol.voltage(out) + 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut c = Circuit::new();
+        let _floating = c.node();
+        let n = c.node();
+        c.conductance(n, Circuit::GROUND, 1e-3);
+        assert!(matches!(dc_solve(&c), Err(CircuitError::SingularSystem)));
+    }
+
+    #[test]
+    fn empty_circuit_solves_trivially() {
+        let c = Circuit::new();
+        let sol = dc_solve(&c).unwrap();
+        assert_eq!(sol.voltage(Circuit::GROUND), 0.0);
+    }
+
+    #[test]
+    fn kcl_holds_at_internal_node() {
+        // Three conductances meeting at a node with a current source.
+        let mut c = Circuit::new();
+        let n = c.node();
+        let m = c.node();
+        c.current_source(Circuit::GROUND, n, 2e-3);
+        c.conductance(n, Circuit::GROUND, 1e-3);
+        c.conductance(n, m, 2e-3);
+        c.conductance(m, Circuit::GROUND, 2e-3);
+        let sol = dc_solve(&c).unwrap();
+        let vn = sol.voltage(n);
+        let vm = sol.voltage(m);
+        let i_sum = 2e-3 - vn * 1e-3 - (vn - vm) * 2e-3;
+        assert!(i_sum.abs() < 1e-15, "KCL residual {i_sum}");
+        let i_sum_m = (vn - vm) * 2e-3 - vm * 2e-3;
+        assert!(i_sum_m.abs() < 1e-15);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the analog circuit simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use gramc_linalg::LinalgError;
+
+/// Errors produced by netlist construction and circuit solves.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A node handle does not belong to this circuit.
+    InvalidNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the circuit.
+        node_count: usize,
+    },
+    /// The nodal system is singular — typically a floating node or an
+    /// over-constrained opamp loop.
+    SingularSystem,
+    /// The transient integration did not settle within its time budget.
+    NoSettle {
+        /// Simulated time reached, in seconds.
+        simulated_time: f64,
+        /// Residual slew measure at the end.
+        residual: f64,
+    },
+    /// A vector argument had the wrong length.
+    ShapeMismatch {
+        /// Required length.
+        expected: usize,
+        /// Supplied length.
+        found: usize,
+    },
+    /// An argument was outside the routine's domain.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidNode { node, node_count } => {
+                write!(f, "node {node} does not exist (circuit has {node_count} nodes)")
+            }
+            CircuitError::SingularSystem => {
+                write!(f, "singular nodal system (floating node or ill-posed feedback)")
+            }
+            CircuitError::NoSettle { simulated_time, residual } => write!(
+                f,
+                "transient did not settle within {simulated_time:.3e} s (residual {residual:.3e})"
+            ),
+            CircuitError::ShapeMismatch { expected, found } => {
+                write!(f, "expected a vector of length {expected}, found {found}")
+            }
+            CircuitError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+impl From<LinalgError> for CircuitError {
+    fn from(e: LinalgError) -> Self {
+        match e {
+            LinalgError::Singular { .. } => CircuitError::SingularSystem,
+            _ => CircuitError::InvalidArgument("linear algebra failure in circuit solve"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CircuitError::InvalidNode { node: 9, node_count: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = CircuitError::NoSettle { simulated_time: 1e-6, residual: 0.5 };
+        assert!(e.to_string().contains("settle"));
+    }
+
+    #[test]
+    fn converts_from_linalg_singular() {
+        let e: CircuitError = LinalgError::Singular { pivot: 0 }.into();
+        assert_eq!(e, CircuitError::SingularSystem);
+    }
+}

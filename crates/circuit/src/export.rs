@@ -1,0 +1,125 @@
+//! SPICE-style netlist export.
+//!
+//! Dumps a [`Circuit`] as a SPICE-like deck so the AMC configurations can be
+//! inspected, diffed, or ported to an external simulator. Op-amps are
+//! emitted as `E` (VCVS) elements with their open-loop gain (ideal op-amps
+//! use a large finite gain, annotated); the mapping is lossy only in that
+//! dynamic op-amp parameters (τ, V_sat) become comments.
+
+use std::fmt::Write as _;
+
+use crate::netlist::Circuit;
+
+/// Gain used to represent "ideal" op-amps in the exported deck.
+const EXPORT_IDEAL_GAIN: f64 = 1e7;
+
+/// Renders the circuit as a SPICE-like netlist deck.
+///
+/// Node 0 is ground, matching SPICE convention.
+pub fn to_spice(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {title}");
+    let _ = writeln!(
+        out,
+        "* exported by gramc-circuit: {} nodes, {} conductances, {} sources, {} op-amps",
+        circuit.node_count,
+        circuit.conductances.len(),
+        circuit.current_sources.len() + circuit.voltage_sources.len(),
+        circuit.opamps.len()
+    );
+    for (k, e) in circuit.conductances.iter().enumerate() {
+        if e.g == 0.0 {
+            continue;
+        }
+        let _ = writeln!(out, "R{k} {} {} {:.6e}", e.a.index(), e.b.index(), 1.0 / e.g);
+    }
+    for (k, e) in circuit.voltage_sources.iter().enumerate() {
+        let _ = writeln!(out, "V{k} {} {} DC {:.6e}", e.plus.index(), e.minus.index(), e.v);
+    }
+    for (k, e) in circuit.current_sources.iter().enumerate() {
+        // SPICE I convention: current flows from the first node through the
+        // source to the second, so `from into` injects into `into`.
+        let _ = writeln!(out, "I{k} {} {} DC {:.6e}", e.from.index(), e.into.index(), e.i);
+    }
+    for (k, e) in circuit.opamps.iter().enumerate() {
+        let gain = e.model.gain.unwrap_or(EXPORT_IDEAL_GAIN);
+        let ideal = if e.model.gain.is_none() { " (ideal)" } else { "" };
+        let _ = writeln!(
+            out,
+            "* op-amp {k}{ideal}: tau={:.3e}s vsat={:.2}V offset={:.3e}V",
+            e.model.tau, e.model.v_sat, e.model.offset
+        );
+        let _ = writeln!(
+            out,
+            "E{k} {} 0 {} {} {:.6e}",
+            e.out.index(),
+            e.inp.index(),
+            e.inn.index(),
+            gain
+        );
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::OpampModel;
+
+    #[test]
+    fn exports_all_element_kinds() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        c.voltage_source(a, Circuit::GROUND, 1.5);
+        c.conductance(a, b, 1e-3);
+        c.current_source(Circuit::GROUND, b, 2e-6);
+        let out = c.tia(b, 1e-4, OpampModel::with_gain(1e4));
+        let deck = to_spice(&c, "unit test deck");
+        assert!(deck.starts_with("* unit test deck"));
+        assert!(deck.contains("R0 1 2 1.000000e3"), "{deck}");
+        assert!(deck.contains("V0 1 0 DC 1.5"), "{deck}");
+        assert!(deck.contains("I0 0 2 DC 2.0"), "{deck}");
+        assert!(deck.contains(&format!("E0 {} 0 0 2 1.000000e4", out.index())), "{deck}");
+        assert!(deck.ends_with(".end\n"));
+    }
+
+    #[test]
+    fn zero_conductances_are_skipped() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.conductance(a, Circuit::GROUND, 0.0);
+        c.conductance(a, Circuit::GROUND, 1e-3);
+        let deck = to_spice(&c, "zeros");
+        // Only the non-zero branch appears (named by insertion index).
+        assert!(!deck.contains("R0 "), "{deck}");
+        assert!(deck.contains("R1 "), "{deck}");
+    }
+
+    #[test]
+    fn ideal_opamps_are_annotated() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.tia(n, 1e-4, OpampModel::ideal());
+        let deck = to_spice(&c, "ideal");
+        assert!(deck.contains("(ideal)"));
+        assert!(deck.contains("1.000000e7"));
+    }
+
+    #[test]
+    fn amc_topology_exports_cleanly() {
+        use gramc_linalg::Matrix;
+        let a = Matrix::from_rows(&[&[1.0, -0.5], &[0.25, 2.0]]);
+        let gp = a.map(|v| if v > 0.0 { v * 40e-6 + 1e-6 } else { 1e-6 });
+        let gn = a.map(|v| if v < 0.0 { -v * 40e-6 + 1e-6 } else { 1e-6 });
+        let t =
+            crate::topology::build_inv(&gp, &gn, &[1e-6, -2e-6], OpampModel::ideal()).unwrap();
+        let deck = to_spice(&t.circuit, "INV 2x2");
+        // 2 rows × (2 pos + 2 neg) crossbar conductances + 2 inverters × 2 = 12 R lines.
+        let r_lines = deck.lines().filter(|l| l.starts_with('R')).count();
+        assert_eq!(r_lines, 12, "{deck}");
+        let e_lines = deck.lines().filter(|l| l.starts_with('E')).count();
+        assert_eq!(e_lines, 4); // 2 row amps + 2 inverters
+    }
+}

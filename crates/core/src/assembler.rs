@@ -1,0 +1,412 @@
+//! Text assembler / disassembler for the GRAMC ISA.
+//!
+//! A human-readable assembly form for the binary instruction words of
+//! [`crate::isa`] — what a toolchain for the paper's "compiling stage"
+//! would emit for inspection. Round-trips exactly:
+//! `parse(format(prog)) == prog`.
+//!
+//! Syntax, one instruction per line (`;` starts a comment):
+//!
+//! ```text
+//! load       s0, 128x128, g:0+16384      ; write-verify slot 0
+//! mvm        s0, g:16384+128, o:0+128
+//! solve_inv  s0, g:16384+128, o:0+128
+//! pool       max, 24x24/2, o:0+576, o:576+144
+//! activate   relu, o:0+10, o:16+10
+//! branch_lt  g:1+1, g:2+1, @7
+//! halt
+//! ```
+//!
+//! Buffer references are `g:addr+len` (global) or `o:addr+len` (output);
+//! branch targets are `@index`; operator slots are `sN`.
+
+use std::fmt::Write as _;
+
+use crate::functional::{Activation, Pooling};
+use crate::isa::{BufferRef, Instruction, MemSpace};
+use crate::registers::MacroMode;
+
+/// Error produced when parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn fmt_ref(r: BufferRef) -> String {
+    let s = match r.space {
+        MemSpace::Global => 'g',
+        MemSpace::Output => 'o',
+    };
+    format!("{s}:{}+{}", r.addr, r.len)
+}
+
+fn fmt_mode(m: MacroMode) -> &'static str {
+    match m {
+        MacroMode::Idle => "idle",
+        MacroMode::Mvm => "mvm",
+        MacroMode::Inv => "inv",
+        MacroMode::Pinv => "pinv",
+        MacroMode::Egv => "egv",
+    }
+}
+
+fn fmt_pool(k: Pooling) -> &'static str {
+    match k {
+        Pooling::Max => "max",
+        Pooling::Average => "avg",
+    }
+}
+
+fn fmt_act(k: Activation) -> &'static str {
+    match k {
+        Activation::Relu => "relu",
+        Activation::Sigmoid => "sigmoid",
+        Activation::Tanh => "tanh",
+        Activation::Identity => "id",
+    }
+}
+
+/// Formats a program as assembly text.
+pub fn format_program(program: &[Instruction]) -> String {
+    let mut out = String::new();
+    for inst in program {
+        match *inst {
+            Instruction::Nop => out.push_str("nop"),
+            Instruction::Halt => out.push_str("halt"),
+            Instruction::Configure { macro_id, mode } => {
+                let _ = write!(out, "configure  m{macro_id}, {}", fmt_mode(mode));
+            }
+            Instruction::LoadMatrix { slot, rows, cols, src } => {
+                let _ = write!(out, "load       s{slot}, {rows}x{cols}, {}", fmt_ref(src));
+            }
+            Instruction::LoadMatrixSliced { slot, rows, cols, src } => {
+                let _ = write!(out, "load8      s{slot}, {rows}x{cols}, {}", fmt_ref(src));
+            }
+            Instruction::FreeMatrix { slot } => {
+                let _ = write!(out, "free       s{slot}");
+            }
+            Instruction::Mvm { slot, src, dst } => {
+                let _ = write!(out, "mvm        s{slot}, {}, {}", fmt_ref(src), fmt_ref(dst));
+            }
+            Instruction::SolveInv { slot, src, dst } => {
+                let _ = write!(out, "solve_inv  s{slot}, {}, {}", fmt_ref(src), fmt_ref(dst));
+            }
+            Instruction::SolvePinv { slot, src, dst } => {
+                let _ = write!(out, "solve_pinv s{slot}, {}, {}", fmt_ref(src), fmt_ref(dst));
+            }
+            Instruction::SolveEgv { slot, dst } => {
+                let _ = write!(out, "solve_egv  s{slot}, {}", fmt_ref(dst));
+            }
+            Instruction::Pool { kind, h, w, window, src, dst } => {
+                let _ = write!(
+                    out,
+                    "pool       {}, {h}x{w}/{window}, {}, {}",
+                    fmt_pool(kind),
+                    fmt_ref(src),
+                    fmt_ref(dst)
+                );
+            }
+            Instruction::Activate { kind, src, dst } => {
+                let _ =
+                    write!(out, "activate   {}, {}, {}", fmt_act(kind), fmt_ref(src), fmt_ref(dst));
+            }
+            Instruction::Softmax { src, dst } => {
+                let _ = write!(out, "softmax    {}, {}", fmt_ref(src), fmt_ref(dst));
+            }
+            Instruction::Copy { src, dst } => {
+                let _ = write!(out, "copy       {}, {}", fmt_ref(src), fmt_ref(dst));
+            }
+            Instruction::Jump { target } => {
+                let _ = write!(out, "jump       @{target}");
+            }
+            Instruction::BranchIfLess { a, b, target } => {
+                let _ =
+                    write!(out, "branch_lt  {}, {}, @{target}", fmt_ref(a), fmt_ref(b));
+            }
+            Instruction::LoopDec { counter, target } => {
+                let _ = write!(out, "loop_dec   g:{counter}, @{target}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+struct LineParser<'a> {
+    line_no: usize,
+    parts: Vec<&'a str>,
+    idx: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line_no, message: message.into() }
+    }
+
+    fn next(&mut self) -> Result<&'a str, ParseError> {
+        let p = self.parts.get(self.idx).copied().ok_or_else(|| self.err("missing operand"))?;
+        self.idx += 1;
+        Ok(p)
+    }
+
+    fn buf_ref(&mut self) -> Result<BufferRef, ParseError> {
+        let p = self.next()?;
+        let (space, rest) = match p.split_once(':') {
+            Some(("g", r)) => (MemSpace::Global, r),
+            Some(("o", r)) => (MemSpace::Output, r),
+            _ => return Err(self.err(format!("bad buffer ref '{p}' (want g:addr+len)"))),
+        };
+        let (addr, len) = rest
+            .split_once('+')
+            .ok_or_else(|| self.err(format!("bad buffer ref '{p}' (missing +len)")))?;
+        let addr = addr.parse().map_err(|_| self.err(format!("bad address in '{p}'")))?;
+        let len = len.parse().map_err(|_| self.err(format!("bad length in '{p}'")))?;
+        Ok(BufferRef { addr, len, space })
+    }
+
+    fn slot(&mut self) -> Result<u8, ParseError> {
+        let p = self.next()?;
+        p.strip_prefix('s')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err(format!("bad slot '{p}' (want sN)")))
+    }
+
+    fn target(&mut self) -> Result<u16, ParseError> {
+        let p = self.next()?;
+        p.strip_prefix('@')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err(format!("bad target '{p}' (want @index)")))
+    }
+
+    fn dims(&mut self) -> Result<(u16, u16), ParseError> {
+        let p = self.next()?;
+        let (r, c) = p
+            .split_once('x')
+            .ok_or_else(|| self.err(format!("bad shape '{p}' (want RxC)")))?;
+        Ok((
+            r.parse().map_err(|_| self.err(format!("bad rows in '{p}'")))?,
+            c.parse().map_err(|_| self.err(format!("bad cols in '{p}'")))?,
+        ))
+    }
+}
+
+/// Parses assembly text into a program.
+///
+/// # Errors
+///
+/// [`ParseError`] with the offending line number.
+pub fn parse_program(text: &str) -> Result<Vec<Instruction>, ParseError> {
+    let mut program = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> =
+            line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty()).collect();
+        let mut p = LineParser { line_no: i + 1, parts, idx: 0 };
+        let op = p.next()?;
+        let inst = match op {
+            "nop" => Instruction::Nop,
+            "halt" => Instruction::Halt,
+            "configure" => {
+                let m = p.next()?;
+                let macro_id = m
+                    .strip_prefix('m')
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| p.err(format!("bad macro '{m}' (want mN)")))?;
+                let mode = match p.next()? {
+                    "idle" => MacroMode::Idle,
+                    "mvm" => MacroMode::Mvm,
+                    "inv" => MacroMode::Inv,
+                    "pinv" => MacroMode::Pinv,
+                    "egv" => MacroMode::Egv,
+                    other => return Err(p.err(format!("unknown mode '{other}'"))),
+                };
+                Instruction::Configure { macro_id, mode }
+            }
+            "load" | "load8" => {
+                let slot = p.slot()?;
+                let (rows, cols) = p.dims()?;
+                let src = p.buf_ref()?;
+                if op == "load" {
+                    Instruction::LoadMatrix { slot, rows, cols, src }
+                } else {
+                    Instruction::LoadMatrixSliced { slot, rows, cols, src }
+                }
+            }
+            "free" => Instruction::FreeMatrix { slot: p.slot()? },
+            "mvm" => Instruction::Mvm { slot: p.slot()?, src: p.buf_ref()?, dst: p.buf_ref()? },
+            "solve_inv" => {
+                Instruction::SolveInv { slot: p.slot()?, src: p.buf_ref()?, dst: p.buf_ref()? }
+            }
+            "solve_pinv" => {
+                Instruction::SolvePinv { slot: p.slot()?, src: p.buf_ref()?, dst: p.buf_ref()? }
+            }
+            "solve_egv" => Instruction::SolveEgv { slot: p.slot()?, dst: p.buf_ref()? },
+            "pool" => {
+                let kind = match p.next()? {
+                    "max" => Pooling::Max,
+                    "avg" => Pooling::Average,
+                    other => return Err(p.err(format!("unknown pooling '{other}'"))),
+                };
+                let shape = p.next()?;
+                let (dims, win) = shape
+                    .split_once('/')
+                    .ok_or_else(|| p.err(format!("bad pool shape '{shape}' (want HxW/win)")))?;
+                let (h, w) = dims
+                    .split_once('x')
+                    .ok_or_else(|| p.err(format!("bad pool dims '{dims}'")))?;
+                let h: u16 = h.parse().map_err(|_| p.err("bad pool height"))?;
+                let w: u16 = w.parse().map_err(|_| p.err("bad pool width"))?;
+                let window: u8 = win.parse().map_err(|_| p.err("bad pool window"))?;
+                Instruction::Pool { kind, h, w, window, src: p.buf_ref()?, dst: p.buf_ref()? }
+            }
+            "activate" => {
+                let kind = match p.next()? {
+                    "relu" => Activation::Relu,
+                    "sigmoid" => Activation::Sigmoid,
+                    "tanh" => Activation::Tanh,
+                    "id" => Activation::Identity,
+                    other => return Err(p.err(format!("unknown activation '{other}'"))),
+                };
+                Instruction::Activate { kind, src: p.buf_ref()?, dst: p.buf_ref()? }
+            }
+            "softmax" => Instruction::Softmax { src: p.buf_ref()?, dst: p.buf_ref()? },
+            "copy" => Instruction::Copy { src: p.buf_ref()?, dst: p.buf_ref()? },
+            "jump" => Instruction::Jump { target: p.target()? },
+            "branch_lt" => Instruction::BranchIfLess {
+                a: p.buf_ref()?,
+                b: p.buf_ref()?,
+                target: p.target()?,
+            },
+            "loop_dec" => {
+                let c = p.next()?;
+                let counter = c
+                    .strip_prefix("g:")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| p.err(format!("bad counter '{c}' (want g:addr)")))?;
+                Instruction::LoopDec { counter, target: p.target()? }
+            }
+            other => return Err(p.err(format!("unknown mnemonic '{other}'"))),
+        };
+        program.push(inst);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Vec<Instruction> {
+        vec![
+            Instruction::Configure { macro_id: 3, mode: MacroMode::Inv },
+            Instruction::LoadMatrix {
+                slot: 0,
+                rows: 128,
+                cols: 128,
+                src: BufferRef::global(0, 16384),
+            },
+            Instruction::LoadMatrixSliced {
+                slot: 1,
+                rows: 16,
+                cols: 150,
+                src: BufferRef::global(20000, 2400),
+            },
+            Instruction::Mvm {
+                slot: 0,
+                src: BufferRef::global(16384, 128),
+                dst: BufferRef::output(0, 128),
+            },
+            Instruction::SolveInv {
+                slot: 0,
+                src: BufferRef::global(16384, 128),
+                dst: BufferRef::output(0, 128),
+            },
+            Instruction::SolvePinv {
+                slot: 0,
+                src: BufferRef::global(16384, 128),
+                dst: BufferRef::output(0, 6),
+            },
+            Instruction::SolveEgv { slot: 0, dst: BufferRef::output(0, 128) },
+            Instruction::Pool {
+                kind: Pooling::Max,
+                h: 24,
+                w: 24,
+                window: 2,
+                src: BufferRef::output(0, 576),
+                dst: BufferRef::output(576, 144),
+            },
+            Instruction::Activate {
+                kind: Activation::Relu,
+                src: BufferRef::output(0, 10),
+                dst: BufferRef::output(16, 10),
+            },
+            Instruction::Softmax { src: BufferRef::output(0, 10), dst: BufferRef::output(16, 10) },
+            Instruction::Copy { src: BufferRef::output(0, 4), dst: BufferRef::global(40, 4) },
+            Instruction::BranchIfLess {
+                a: BufferRef::global(1, 1),
+                b: BufferRef::global(2, 1),
+                target: 2,
+            },
+            Instruction::LoopDec { counter: 7, target: 1 },
+            Instruction::FreeMatrix { slot: 0 },
+            Instruction::Jump { target: 0 },
+            Instruction::Nop,
+            Instruction::Halt,
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_instruction() {
+        let prog = sample_program();
+        let text = format_program(&prog);
+        let back = parse_program(&text).unwrap();
+        assert_eq!(back, prog, "assembly:\n{text}");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored()  {
+        let text = "
+; a comment-only line
+nop            ; trailing comment
+
+halt
+";
+        let prog = parse_program(text).unwrap();
+        assert_eq!(prog, vec![Instruction::Nop, Instruction::Halt]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_program("nop\nbogus_op s1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus_op"));
+        let err = parse_program("mvm s0, q:1+2, o:0+2").unwrap_err();
+        assert!(err.message.contains("buffer ref"));
+        let err = parse_program("jump seven").unwrap_err();
+        assert!(err.message.contains("target"));
+    }
+
+    #[test]
+    fn assembly_agrees_with_binary_encoding() {
+        // Text → Instruction → binary words → Instruction is the identity.
+        let prog = sample_program();
+        for inst in &prog {
+            let enc = inst.encode();
+            assert_eq!(Instruction::decode(enc), Some(*inst));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The compiling stage (paper Fig. 3: "The instructions from compiling
+//! stage will be loaded into the instruction stack in advance").
+//!
+//! [`compile`] lowers a list of high-level matrix operations into a GRAMC
+//! instruction sequence plus a global-buffer image (matrix data, input
+//! vectors), and [`execute`] loads both into a [`GramcSystem`], runs the
+//! controller and collects the results.
+
+use gramc_linalg::Matrix;
+
+use crate::error::CoreError;
+use crate::isa::{BufferRef, Instruction};
+use crate::system::{GramcSystem, RunStats};
+
+/// A high-level matrix operation to lower.
+#[derive(Debug, Clone)]
+pub enum MatrixOp {
+    /// `y = A·x`.
+    Mvm {
+        /// The matrix.
+        a: Matrix,
+        /// The input vector.
+        x: Vec<f64>,
+    },
+    /// Solve `A·x = b`.
+    SolveInv {
+        /// The (square) matrix.
+        a: Matrix,
+        /// Right-hand side.
+        b: Vec<f64>,
+    },
+    /// Least squares `x = A⁺·b`.
+    SolvePinv {
+        /// The matrix.
+        a: Matrix,
+        /// Right-hand side.
+        b: Vec<f64>,
+    },
+    /// Dominant eigenvector of `A`.
+    SolveEgv {
+        /// The (square) matrix.
+        a: Matrix,
+    },
+}
+
+impl MatrixOp {
+    fn output_len(&self) -> usize {
+        match self {
+            MatrixOp::Mvm { a, .. } => a.rows(),
+            MatrixOp::SolveInv { a, .. } => a.rows(),
+            MatrixOp::SolvePinv { a, .. } => a.cols(),
+            MatrixOp::SolveEgv { a } => a.rows(),
+        }
+    }
+}
+
+/// A compiled program: instruction stream, initial global-buffer image and
+/// the output locations of each operation.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The instruction stream (ends with `Halt`).
+    pub instructions: Vec<Instruction>,
+    /// Initial contents of the global buffer.
+    pub global_image: Vec<f64>,
+    /// One output reference per input operation, in order.
+    pub outputs: Vec<BufferRef>,
+}
+
+/// Lowers a sequence of matrix operations.
+///
+/// Each operation stages its matrix into the global buffer, emits a
+/// `LoadMatrix` (the write-verify path), the matching solve/MVM instruction
+/// (the solution path), and a `FreeMatrix` so macros are recycled between
+/// operations.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidArgument`] for empty inputs or shape mismatches
+/// detectable at compile time.
+pub fn compile(ops: &[MatrixOp]) -> Result<CompiledProgram, CoreError> {
+    if ops.is_empty() {
+        return Err(CoreError::InvalidArgument("no operations to compile"));
+    }
+    let mut instructions = Vec::new();
+    let mut image: Vec<f64> = Vec::new();
+    let mut outputs = Vec::new();
+    let mut out_addr: u32 = 0;
+
+    for op in ops {
+        let (a, vec_in) = match op {
+            MatrixOp::Mvm { a, x } => (a, Some(x)),
+            MatrixOp::SolveInv { a, b } => (a, Some(b)),
+            MatrixOp::SolvePinv { a, b } => (a, Some(b)),
+            MatrixOp::SolveEgv { a } => (a, None),
+        };
+        let (rows, cols) = a.shape();
+        if rows == 0 || cols == 0 {
+            return Err(CoreError::InvalidArgument("empty matrix in program"));
+        }
+        if rows > u16::MAX as usize || cols > u16::MAX as usize {
+            return Err(CoreError::InvalidArgument("matrix too large for the ISA encoding"));
+        }
+        if let Some(v) = vec_in {
+            let expected = match op {
+                MatrixOp::Mvm { .. } => cols,
+                _ => rows,
+            };
+            if v.len() != expected {
+                return Err(CoreError::ShapeMismatch { expected, found: v.len() });
+            }
+        }
+
+        // Stage the matrix.
+        let mat_addr = image.len() as u32;
+        image.extend_from_slice(a.as_slice());
+        let mat_ref = BufferRef::global(mat_addr, (rows * cols) as u32);
+        instructions.push(Instruction::LoadMatrix {
+            slot: 0,
+            rows: rows as u16,
+            cols: cols as u16,
+            src: mat_ref,
+        });
+
+        // Stage the vector (if any).
+        let vec_ref = vec_in.map(|v| {
+            let addr = image.len() as u32;
+            image.extend_from_slice(v);
+            BufferRef::global(addr, v.len() as u32)
+        });
+
+        let out_len = op.output_len() as u32;
+        let dst = BufferRef::output(out_addr, out_len);
+        out_addr += out_len;
+        outputs.push(dst);
+
+        instructions.push(match op {
+            MatrixOp::Mvm { .. } => {
+                Instruction::Mvm { slot: 0, src: vec_ref.expect("mvm has input"), dst }
+            }
+            MatrixOp::SolveInv { .. } => {
+                Instruction::SolveInv { slot: 0, src: vec_ref.expect("inv has rhs"), dst }
+            }
+            MatrixOp::SolvePinv { .. } => {
+                Instruction::SolvePinv { slot: 0, src: vec_ref.expect("pinv has rhs"), dst }
+            }
+            MatrixOp::SolveEgv { .. } => Instruction::SolveEgv { slot: 0, dst },
+        });
+        instructions.push(Instruction::FreeMatrix { slot: 0 });
+    }
+    instructions.push(Instruction::Halt);
+    Ok(CompiledProgram { instructions, global_image: image, outputs })
+}
+
+/// Loads a compiled program into `sys`, runs it, and returns the per-op
+/// results.
+///
+/// # Errors
+///
+/// Buffer errors if the program image exceeds the system's buffers, plus
+/// any controller/analog error from the run.
+pub fn execute(
+    sys: &mut GramcSystem,
+    program: &CompiledProgram,
+    max_steps: usize,
+) -> Result<Vec<Vec<f64>>, CoreError> {
+    sys.write_global(0, &program.global_image)?;
+    sys.load_program(program.instructions.clone());
+    let _stats: RunStats = sys.run(max_steps)?;
+    program.outputs.iter().map(|&r| sys.read_output(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MacroConfig;
+    use gramc_linalg::{pseudoinverse, random, vector, SymmetricEigen};
+
+    #[test]
+    fn compile_rejects_empty_and_mismatched() {
+        assert!(compile(&[]).is_err());
+        let a = Matrix::identity(3);
+        assert!(compile(&[MatrixOp::Mvm { a: a.clone(), x: vec![1.0; 2] }]).is_err());
+        assert!(compile(&[MatrixOp::SolveInv { a, b: vec![1.0; 4] }]).is_err());
+    }
+
+    #[test]
+    fn program_shape_is_sound() {
+        let a = Matrix::identity(4);
+        let p = compile(&[
+            MatrixOp::Mvm { a: a.clone(), x: vec![1.0; 4] },
+            MatrixOp::SolveEgv { a },
+        ])
+        .unwrap();
+        // 3 instructions per op + Halt.
+        assert_eq!(p.instructions.len(), 7);
+        assert_eq!(p.outputs.len(), 2);
+        assert!(matches!(p.instructions.last(), Some(Instruction::Halt)));
+        // Matrix data + vector staged in the image.
+        assert_eq!(p.global_image.len(), 16 + 4 + 16);
+    }
+
+    #[test]
+    fn multi_op_program_executes() {
+        let mut rng = random::seeded_rng(70);
+        let a = random::spd_with_condition(&mut rng, 4, 3.0);
+        let x = random::normal_vector(&mut rng, 4);
+        let tall = random::gaussian_matrix(&mut rng, 6, 2);
+        let b6 = random::normal_vector(&mut rng, 6);
+        let gram = random::gram(&mut rng, 4, 12);
+
+        let program = compile(&[
+            MatrixOp::Mvm { a: a.clone(), x: x.clone() },
+            MatrixOp::SolvePinv { a: tall.clone(), b: b6.clone() },
+            MatrixOp::SolveEgv { a: gram.clone() },
+        ])
+        .unwrap();
+
+        let mut sys = GramcSystem::new(3, MacroConfig::small_ideal(6), 71, 4096);
+        let out = execute(&mut sys, &program, 10_000).unwrap();
+
+        let y_ref = a.matvec(&x);
+        assert!(vector::rel_error(&out[0], &y_ref) < 0.05, "MVM off");
+
+        let x_ref = pseudoinverse(&tall).unwrap().matvec(&b6);
+        assert!(vector::rel_error(&out[1], &x_ref) < 0.05, "PINV off");
+
+        let eig = SymmetricEigen::new(&gram).unwrap();
+        let err = vector::rel_error_up_to_sign(&out[2], &eig.eigenvector(0));
+        assert!(err < 0.15, "EGV off: {err}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Error type for the GRAMC system layer.
+
+use std::error::Error;
+use std::fmt;
+
+use gramc_array::ArrayError;
+use gramc_circuit::CircuitError;
+use gramc_linalg::LinalgError;
+
+/// Errors produced by the AMC macro and the GRAMC system.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Error from the crossbar / write-verify layer.
+    Array(ArrayError),
+    /// Error from the analog circuit simulator.
+    Circuit(CircuitError),
+    /// Error from the numerical baseline.
+    Linalg(LinalgError),
+    /// A macro id is out of range.
+    NoSuchMacro {
+        /// Requested macro index.
+        id: usize,
+        /// Number of macros in the system.
+        count: usize,
+    },
+    /// The requested operation does not match the macro's configured mode.
+    WrongMode {
+        /// Mode the macro is configured for.
+        configured: &'static str,
+        /// Mode the operation requires.
+        required: &'static str,
+    },
+    /// An operator handle is stale or refers to a different group.
+    InvalidOperator,
+    /// A matrix or vector argument has the wrong shape.
+    ShapeMismatch {
+        /// Required size.
+        expected: usize,
+        /// Supplied size.
+        found: usize,
+    },
+    /// Not enough free macro capacity to place the operator.
+    OutOfCapacity {
+        /// Macros requested by this placement.
+        requested: usize,
+        /// Macros still free.
+        available: usize,
+    },
+    /// A buffer reference escapes the global/output buffer.
+    BufferOutOfBounds {
+        /// Offending address.
+        addr: usize,
+        /// Reference length.
+        len: usize,
+        /// Buffer capacity.
+        capacity: usize,
+    },
+    /// The controller hit an illegal instruction or control-flow target.
+    IllegalInstruction {
+        /// Program counter at the fault.
+        pc: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The EGV iteration failed to converge.
+    EgvNoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// An argument was outside the routine's domain.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Array(e) => write!(f, "array error: {e}"),
+            CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::NoSuchMacro { id, count } => {
+                write!(f, "macro {id} does not exist (system has {count})")
+            }
+            CoreError::WrongMode { configured, required } => {
+                write!(f, "macro configured for {configured} but operation requires {required}")
+            }
+            CoreError::InvalidOperator => write!(f, "stale or foreign operator handle"),
+            CoreError::ShapeMismatch { expected, found } => {
+                write!(f, "expected a vector of length {expected}, found {found}")
+            }
+            CoreError::OutOfCapacity { requested, available } => {
+                write!(f, "placement needs {requested} macros, only {available} free")
+            }
+            CoreError::BufferOutOfBounds { addr, len, capacity } => {
+                write!(f, "buffer reference {addr}+{len} exceeds capacity {capacity}")
+            }
+            CoreError::IllegalInstruction { pc, reason } => {
+                write!(f, "illegal instruction at pc={pc}: {reason}")
+            }
+            CoreError::EgvNoConvergence { iterations } => {
+                write!(f, "EGV iteration did not converge after {iterations} iterations")
+            }
+            CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Array(e) => Some(e),
+            CoreError::Circuit(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArrayError> for CoreError {
+    fn from(e: ArrayError) -> Self {
+        CoreError::Array(e)
+    }
+}
+
+impl From<CircuitError> for CoreError {
+    fn from(e: CircuitError) -> Self {
+        CoreError::Circuit(e)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::NoSuchMacro { id: 20, count: 16 };
+        assert!(e.to_string().contains("20"));
+        let e: CoreError = ArrayError::InvalidArgument("x").into();
+        assert!(e.source().is_some());
+        let e = CoreError::WrongMode { configured: "MVM", required: "INV" };
+        assert!(e.to_string().contains("MVM") && e.to_string().contains("INV"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

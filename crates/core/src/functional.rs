@@ -1,0 +1,204 @@
+//! Digital functional modules (paper Fig. 3 "EU / functional module" and
+//! Fig. 5: "The convolutional computation results are transferred to the
+//! digital functional module to execute the pooling and activation
+//! operations").
+//!
+//! These operate on channel-major feature maps (`[channels][h][w]` flattened
+//! row-major) and plain vectors, matching what the output buffer hands over.
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Rectified linear unit.
+    #[default]
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Pass-through.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Applies the activation in place to a slice.
+    pub fn apply_slice(&self, xs: &mut [f64]) {
+        for x in xs.iter_mut() {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+/// Supported pooling reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pooling {
+    /// Maximum over the window.
+    #[default]
+    Max,
+    /// Mean over the window.
+    Average,
+}
+
+/// Pools a single-channel `h × w` feature map with a square window and
+/// stride equal to the window size (the LeNet-5 configuration).
+///
+/// # Panics
+///
+/// Panics if `h`/`w` are not multiples of `window`, if `window == 0`, or if
+/// the map length disagrees with `h·w`.
+pub fn pool2d(map: &[f64], h: usize, w: usize, window: usize, kind: Pooling) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    assert_eq!(map.len(), h * w, "feature map length mismatch");
+    assert!(h % window == 0 && w % window == 0, "h and w must be multiples of window");
+    let oh = h / window;
+    let ow = w / window;
+    let mut out = Vec::with_capacity(oh * ow);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = match kind {
+                Pooling::Max => f64::NEG_INFINITY,
+                Pooling::Average => 0.0,
+            };
+            for dy in 0..window {
+                for dx in 0..window {
+                    let v = map[(oy * window + dy) * w + ox * window + dx];
+                    match kind {
+                        Pooling::Max => acc = acc.max(v),
+                        Pooling::Average => acc += v,
+                    }
+                }
+            }
+            if kind == Pooling::Average {
+                acc /= (window * window) as f64;
+            }
+            out.push(acc);
+        }
+    }
+    out
+}
+
+/// Numerically stable softmax.
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|x| (x - m).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Index of the maximum element (ties resolve to the first).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn argmax(xs: &[f64]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Requantizes a vector to a signed integer grid: values are scaled by
+/// `1/scale`, rounded, clamped to `±((1<<(bits-1)) - 1)` and returned in
+/// integer units. This models the digital requantization stage between
+/// GRAMC layers.
+///
+/// # Panics
+///
+/// Panics if `scale <= 0` or `bits` is outside `2..=16`.
+pub fn requantize(xs: &[f64], scale: f64, bits: u32) -> Vec<i32> {
+    assert!(scale > 0.0, "scale must be positive");
+    assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+    let m = ((1i64 << (bits - 1)) - 1) as f64;
+    xs.iter().map(|&x| (x / scale).round().clamp(-m, m) as i32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_friends() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-15);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-15);
+        assert_eq!(Activation::Identity.apply(1.5), 1.5);
+        let mut v = vec![-1.0, 2.0];
+        Activation::Relu.apply_slice(&mut v);
+        assert_eq!(v, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        #[rustfmt::skip]
+        let map = vec![
+            1.0, 2.0, 3.0, 4.0,
+            5.0, 6.0, 7.0, 8.0,
+            9.0, 1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0, 7.0,
+        ];
+        let out = pool2d(&map, 4, 4, 2, Pooling::Max);
+        assert_eq!(out, vec![6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let map = vec![1.0, 3.0, 5.0, 7.0];
+        let out = pool2d(&map, 2, 2, 2, Pooling::Average);
+        assert_eq!(out, vec![4.0]);
+    }
+
+    #[test]
+    fn pool_window_one_is_identity() {
+        let map = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(pool2d(&map, 2, 2, 1, Pooling::Max), map);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples")]
+    fn pool_rejects_non_divisible() {
+        let _ = pool2d(&[0.0; 9], 3, 3, 2, Pooling::Max);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability under large offsets.
+        let q = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (a, b) in p.iter().zip(&q) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn requantize_clamps_and_rounds() {
+        let out = requantize(&[0.04, -0.26, 10.0], 0.1, 4);
+        assert_eq!(out, vec![0, -3, 7]);
+    }
+}

@@ -1,0 +1,495 @@
+//! The GRAMC instruction set.
+//!
+//! Paper Fig. 3: "The instructions from compiling stage will be loaded into
+//! the instruction stack in advance. Then, the instructions will be decoded
+//! to control the two data paths: write-verify path and system solution
+//! path." This module defines those instructions and their fixed-width
+//! binary encoding (four 32-bit words), which the system's decoder
+//! round-trips.
+
+use crate::functional::{Activation, Pooling};
+use crate::registers::MacroMode;
+
+/// Memory space selector for a [`BufferRef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemSpace {
+    /// The global buffer (inputs, matrix data, staged results).
+    #[default]
+    Global,
+    /// The output buffer (ADC captures, functional-module results).
+    Output,
+}
+
+/// A reference to a contiguous run of words in one of the two buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferRef {
+    /// Word address.
+    pub addr: u32,
+    /// Run length in words.
+    pub len: u32,
+    /// Which buffer.
+    pub space: MemSpace,
+}
+
+impl BufferRef {
+    /// A reference into the global buffer.
+    pub fn global(addr: u32, len: u32) -> Self {
+        Self { addr, len, space: MemSpace::Global }
+    }
+
+    /// A reference into the output buffer.
+    pub fn output(addr: u32, len: u32) -> Self {
+        Self { addr, len, space: MemSpace::Output }
+    }
+}
+
+/// One GRAMC instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instruction {
+    /// Do nothing.
+    Nop,
+    /// Stop the controller.
+    Halt,
+    /// Write the mode into a macro's register array (Fig. 3 step
+    /// "Register Configuration").
+    Configure {
+        /// Target macro.
+        macro_id: u8,
+        /// Mode to configure.
+        mode: MacroMode,
+    },
+    /// Run the write-verify path: load `rows × cols` matrix words from
+    /// `src` and program them into operator slot `slot` (differential
+    /// 4-bit planes).
+    LoadMatrix {
+        /// Operator slot to fill.
+        slot: u8,
+        /// Matrix rows.
+        rows: u16,
+        /// Matrix columns.
+        cols: u16,
+        /// Row-major matrix data in the global buffer.
+        src: BufferRef,
+    },
+    /// Like [`Instruction::LoadMatrix`] but with 8-bit bit-sliced planes.
+    LoadMatrixSliced {
+        /// Operator slot to fill.
+        slot: u8,
+        /// Matrix rows.
+        rows: u16,
+        /// Matrix columns.
+        cols: u16,
+        /// Row-major matrix data in the global buffer.
+        src: BufferRef,
+    },
+    /// Release an operator slot's macros.
+    FreeMatrix {
+        /// Operator slot to release.
+        slot: u8,
+    },
+    /// Analog MVM: `dst ← A[slot]·src`.
+    Mvm {
+        /// Operator slot.
+        slot: u8,
+        /// Input vector.
+        src: BufferRef,
+        /// Result destination.
+        dst: BufferRef,
+    },
+    /// Analog linear-system solve: `dst ← A[slot]⁻¹·src`.
+    SolveInv {
+        /// Operator slot.
+        slot: u8,
+        /// Right-hand side.
+        src: BufferRef,
+        /// Result destination.
+        dst: BufferRef,
+    },
+    /// Analog least-squares solve: `dst ← A[slot]⁺·src`.
+    SolvePinv {
+        /// Operator slot.
+        slot: u8,
+        /// Right-hand side.
+        src: BufferRef,
+        /// Result destination.
+        dst: BufferRef,
+    },
+    /// Analog dominant-eigenvector solve: `dst ← egv(A[slot])`.
+    SolveEgv {
+        /// Operator slot.
+        slot: u8,
+        /// Result destination (eigenvector).
+        dst: BufferRef,
+    },
+    /// Digital pooling over a single-channel `h × w` map.
+    Pool {
+        /// Reduction kind.
+        kind: Pooling,
+        /// Map height.
+        h: u16,
+        /// Map width.
+        w: u16,
+        /// Window (stride = window).
+        window: u8,
+        /// Input map.
+        src: BufferRef,
+        /// Output map (length `(h/window)·(w/window)`).
+        dst: BufferRef,
+    },
+    /// Digital activation applied element-wise.
+    Activate {
+        /// Activation kind.
+        kind: Activation,
+        /// Input.
+        src: BufferRef,
+        /// Output (same length).
+        dst: BufferRef,
+    },
+    /// Digital softmax.
+    Softmax {
+        /// Input.
+        src: BufferRef,
+        /// Output (same length).
+        dst: BufferRef,
+    },
+    /// Copy words between buffers.
+    Copy {
+        /// Source.
+        src: BufferRef,
+        /// Destination (same length).
+        dst: BufferRef,
+    },
+    /// Unconditional jump to an instruction index.
+    Jump {
+        /// Target instruction index.
+        target: u16,
+    },
+    /// Comparison-unit branch: if `buffer[a] < buffer[b]`, jump to `target`
+    /// (the CU of Fig. 3's write-verify path).
+    BranchIfLess {
+        /// Left operand (single word).
+        a: BufferRef,
+        /// Right operand (single word).
+        b: BufferRef,
+        /// Target instruction index.
+        target: u16,
+    },
+    /// Decrement the counter word at `counter`; jump to `target` while it
+    /// remains positive.
+    LoopDec {
+        /// Counter word (global buffer).
+        counter: u32,
+        /// Target instruction index.
+        target: u16,
+    },
+}
+
+fn space_bit(s: MemSpace) -> u32 {
+    match s {
+        MemSpace::Global => 0,
+        MemSpace::Output => 1,
+    }
+}
+
+fn space_from_bit(b: u32) -> MemSpace {
+    if b & 1 == 0 {
+        MemSpace::Global
+    } else {
+        MemSpace::Output
+    }
+}
+
+fn pack_ref(r: BufferRef) -> (u32, u32) {
+    // 31 bits of address + 1 space bit; full 32-bit length.
+    ((r.addr << 1) | space_bit(r.space), r.len)
+}
+
+fn unpack_ref(w_addr: u32, w_len: u32) -> BufferRef {
+    BufferRef { addr: w_addr >> 1, len: w_len, space: space_from_bit(w_addr) }
+}
+
+fn pooling_code(k: Pooling) -> u32 {
+    match k {
+        Pooling::Max => 0,
+        Pooling::Average => 1,
+    }
+}
+
+fn pooling_from(code: u32) -> Option<Pooling> {
+    match code {
+        0 => Some(Pooling::Max),
+        1 => Some(Pooling::Average),
+        _ => None,
+    }
+}
+
+fn activation_code(k: Activation) -> u32 {
+    match k {
+        Activation::Relu => 0,
+        Activation::Sigmoid => 1,
+        Activation::Tanh => 2,
+        Activation::Identity => 3,
+    }
+}
+
+fn activation_from(code: u32) -> Option<Activation> {
+    match code {
+        0 => Some(Activation::Relu),
+        1 => Some(Activation::Sigmoid),
+        2 => Some(Activation::Tanh),
+        3 => Some(Activation::Identity),
+        _ => None,
+    }
+}
+
+impl Instruction {
+    /// Encodes the instruction into four 32-bit words.
+    pub fn encode(&self) -> [u32; 4] {
+        match *self {
+            Instruction::Nop => [0, 0, 0, 0],
+            Instruction::Halt => [1, 0, 0, 0],
+            Instruction::Configure { macro_id, mode } => {
+                [2 | (u32::from(macro_id) << 8) | (u32::from(mode.opcode()) << 16), 0, 0, 0]
+            }
+            Instruction::LoadMatrix { slot, rows, cols, src } => {
+                let (a, l) = pack_ref(src);
+                [3 | (u32::from(slot) << 8), (u32::from(rows) << 16) | u32::from(cols), a, l]
+            }
+            Instruction::LoadMatrixSliced { slot, rows, cols, src } => {
+                let (a, l) = pack_ref(src);
+                [4 | (u32::from(slot) << 8), (u32::from(rows) << 16) | u32::from(cols), a, l]
+            }
+            Instruction::FreeMatrix { slot } => [5 | (u32::from(slot) << 8), 0, 0, 0],
+            Instruction::Mvm { slot, src, dst } => {
+                let (sa, sl) = pack_ref(src);
+                let (da, dl) = pack_ref(dst);
+                debug_assert!(sl < 1 << 16 && dl < 1 << 16, "vector too long for packed encoding");
+                [6 | (u32::from(slot) << 8), (sl << 16) | dl, sa, da]
+            }
+            Instruction::SolveInv { slot, src, dst } => {
+                let (sa, sl) = pack_ref(src);
+                let (da, dl) = pack_ref(dst);
+                [7 | (u32::from(slot) << 8), (sl << 16) | dl, sa, da]
+            }
+            Instruction::SolvePinv { slot, src, dst } => {
+                let (sa, sl) = pack_ref(src);
+                let (da, dl) = pack_ref(dst);
+                [8 | (u32::from(slot) << 8), (sl << 16) | dl, sa, da]
+            }
+            Instruction::SolveEgv { slot, dst } => {
+                let (da, dl) = pack_ref(dst);
+                [9 | (u32::from(slot) << 8), dl, 0, da]
+            }
+            Instruction::Pool { kind, h, w, window, src, dst } => {
+                let (sa, _) = pack_ref(src);
+                let (da, _) = pack_ref(dst);
+                [
+                    10 | (pooling_code(kind) << 8) | (u32::from(window) << 16),
+                    (u32::from(h) << 16) | u32::from(w),
+                    sa,
+                    da,
+                ]
+            }
+            Instruction::Activate { kind, src, dst } => {
+                let (sa, sl) = pack_ref(src);
+                let (da, _) = pack_ref(dst);
+                [11 | (activation_code(kind) << 8), sl, sa, da]
+            }
+            Instruction::Softmax { src, dst } => {
+                let (sa, sl) = pack_ref(src);
+                let (da, _) = pack_ref(dst);
+                [12, sl, sa, da]
+            }
+            Instruction::Copy { src, dst } => {
+                let (sa, sl) = pack_ref(src);
+                let (da, _) = pack_ref(dst);
+                [13, sl, sa, da]
+            }
+            Instruction::Jump { target } => [14 | (u32::from(target) << 16), 0, 0, 0],
+            Instruction::BranchIfLess { a, b, target } => {
+                let (aa, _) = pack_ref(a);
+                let (ba, _) = pack_ref(b);
+                [15 | (u32::from(target) << 16), 0, aa, ba]
+            }
+            Instruction::LoopDec { counter, target } => {
+                [16 | (u32::from(target) << 16), 0, counter, 0]
+            }
+        }
+    }
+
+    /// Decodes four words back into an instruction.
+    ///
+    /// Returns `None` for malformed encodings (unknown opcode or field).
+    pub fn decode(words: [u32; 4]) -> Option<Self> {
+        let op = words[0] & 0xFF;
+        match op {
+            0 => Some(Instruction::Nop),
+            1 => Some(Instruction::Halt),
+            2 => {
+                let macro_id = ((words[0] >> 8) & 0xFF) as u8;
+                let mode = MacroMode::from_opcode(((words[0] >> 16) & 0xFF) as u8)?;
+                Some(Instruction::Configure { macro_id, mode })
+            }
+            3 | 4 => {
+                let slot = ((words[0] >> 8) & 0xFF) as u8;
+                let rows = (words[1] >> 16) as u16;
+                let cols = (words[1] & 0xFFFF) as u16;
+                let src = unpack_ref(words[2], words[3]);
+                if op == 3 {
+                    Some(Instruction::LoadMatrix { slot, rows, cols, src })
+                } else {
+                    Some(Instruction::LoadMatrixSliced { slot, rows, cols, src })
+                }
+            }
+            5 => Some(Instruction::FreeMatrix { slot: ((words[0] >> 8) & 0xFF) as u8 }),
+            6 | 7 | 8 => {
+                let slot = ((words[0] >> 8) & 0xFF) as u8;
+                let sl = words[1] >> 16;
+                let dl = words[1] & 0xFFFF;
+                let src = unpack_ref(words[2], sl);
+                let dst = unpack_ref(words[3], dl);
+                match op {
+                    6 => Some(Instruction::Mvm { slot, src, dst }),
+                    7 => Some(Instruction::SolveInv { slot, src, dst }),
+                    _ => Some(Instruction::SolvePinv { slot, src, dst }),
+                }
+            }
+            9 => {
+                let slot = ((words[0] >> 8) & 0xFF) as u8;
+                let dst = unpack_ref(words[3], words[1]);
+                Some(Instruction::SolveEgv { slot, dst })
+            }
+            10 => {
+                let kind = pooling_from((words[0] >> 8) & 0xFF)?;
+                let window = ((words[0] >> 16) & 0xFF) as u8;
+                let h = (words[1] >> 16) as u16;
+                let w = (words[1] & 0xFFFF) as u16;
+                let src_len = u32::from(h) * u32::from(w);
+                let win = u32::from(window).max(1);
+                let dst_len = (u32::from(h) / win) * (u32::from(w) / win);
+                let src = unpack_ref(words[2], src_len);
+                let dst = unpack_ref(words[3], dst_len);
+                Some(Instruction::Pool { kind, h, w, window, src, dst })
+            }
+            11 => {
+                let kind = activation_from((words[0] >> 8) & 0xFF)?;
+                let src = unpack_ref(words[2], words[1]);
+                let dst = unpack_ref(words[3], words[1]);
+                Some(Instruction::Activate { kind, src, dst })
+            }
+            12 => {
+                let src = unpack_ref(words[2], words[1]);
+                let dst = unpack_ref(words[3], words[1]);
+                Some(Instruction::Softmax { src, dst })
+            }
+            13 => {
+                let src = unpack_ref(words[2], words[1]);
+                let dst = unpack_ref(words[3], words[1]);
+                Some(Instruction::Copy { src, dst })
+            }
+            14 => Some(Instruction::Jump { target: (words[0] >> 16) as u16 }),
+            15 => {
+                let a = unpack_ref(words[2], 1);
+                let b = unpack_ref(words[3], 1);
+                Some(Instruction::BranchIfLess { a, b, target: (words[0] >> 16) as u16 })
+            }
+            16 => {
+                Some(Instruction::LoopDec { counter: words[2], target: (words[0] >> 16) as u16 })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instruction) {
+        let enc = i.encode();
+        let dec = Instruction::decode(enc).expect("decodable");
+        assert_eq!(dec, i, "encoding {enc:?}");
+    }
+
+    #[test]
+    fn all_instructions_roundtrip() {
+        roundtrip(Instruction::Nop);
+        roundtrip(Instruction::Halt);
+        roundtrip(Instruction::Configure { macro_id: 7, mode: MacroMode::Pinv });
+        roundtrip(Instruction::LoadMatrix {
+            slot: 3,
+            rows: 128,
+            cols: 128,
+            src: BufferRef::global(1024, 16384),
+        });
+        roundtrip(Instruction::LoadMatrixSliced {
+            slot: 1,
+            rows: 64,
+            cols: 32,
+            src: BufferRef::global(0, 2048),
+        });
+        roundtrip(Instruction::FreeMatrix { slot: 5 });
+        roundtrip(Instruction::Mvm {
+            slot: 2,
+            src: BufferRef::global(100, 128),
+            dst: BufferRef::output(0, 128),
+        });
+        roundtrip(Instruction::SolveInv {
+            slot: 0,
+            src: BufferRef::global(7, 16),
+            dst: BufferRef::output(3, 16),
+        });
+        roundtrip(Instruction::SolvePinv {
+            slot: 0,
+            src: BufferRef::global(7, 128),
+            dst: BufferRef::output(3, 6),
+        });
+        roundtrip(Instruction::SolveEgv { slot: 9, dst: BufferRef::output(11, 128) });
+        roundtrip(Instruction::Pool {
+            kind: Pooling::Average,
+            h: 24,
+            w: 24,
+            window: 2,
+            src: BufferRef::output(0, 576),
+            dst: BufferRef::output(576, 144),
+        });
+        roundtrip(Instruction::Activate {
+            kind: Activation::Sigmoid,
+            src: BufferRef::output(0, 10),
+            dst: BufferRef::output(16, 10),
+        });
+        roundtrip(Instruction::Softmax {
+            src: BufferRef::output(0, 10),
+            dst: BufferRef::output(16, 10),
+        });
+        roundtrip(Instruction::Copy {
+            src: BufferRef::output(5, 3),
+            dst: BufferRef::global(9, 3),
+        });
+        roundtrip(Instruction::Jump { target: 42 });
+        roundtrip(Instruction::BranchIfLess {
+            a: BufferRef::global(1, 1),
+            b: BufferRef::global(2, 1),
+            target: 7,
+        });
+        roundtrip(Instruction::LoopDec { counter: 33, target: 2 });
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(Instruction::decode([200, 0, 0, 0]), None);
+        assert_eq!(Instruction::decode([2 | (9 << 16), 0, 0, 0]), None); // bad mode
+        assert_eq!(Instruction::decode([10 | (7 << 8), 0, 0, 0]), None); // bad pooling
+    }
+
+    #[test]
+    fn space_bit_is_preserved() {
+        let r = BufferRef::output(12345, 77);
+        let (a, l) = super::pack_ref(r);
+        assert_eq!(super::unpack_ref(a, l), r);
+        let g = BufferRef::global(12345, 77);
+        let (a2, l2) = super::pack_ref(g);
+        assert_eq!(super::unpack_ref(a2, l2), g);
+        assert_ne!(a, a2);
+    }
+}

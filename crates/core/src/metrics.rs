@@ -1,0 +1,206 @@
+//! Analytical latency/energy models for analog-vs-digital comparisons.
+//!
+//! The paper's pitch — "in-memory AMC … for its high speed and low power
+//! consumption" — rests on the analog solver's O(1) settling time versus the
+//! O(n³) digital factorization. These models make that comparison concrete
+//! for the scaling bench (EXPERIMENTS.md E8). Constants are order-of-
+//! magnitude values from the in-memory-computing literature (Sun et al.
+//! PNAS 2019; Walden-style converter figures of merit) — absolute numbers
+//! are indicative, scaling shapes are the point.
+
+/// Latency + energy estimate for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Seconds.
+    pub latency: f64,
+    /// Joules.
+    pub energy: f64,
+}
+
+impl Cost {
+    /// Adds two costs (sequential composition).
+    pub fn then(self, other: Cost) -> Cost {
+        Cost { latency: self.latency + other.latency, energy: self.energy + other.energy }
+    }
+}
+
+/// Cost model for the analog macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogCostModel {
+    /// Base op-amp settling time for an MVM read-out, seconds.
+    pub mvm_settle: f64,
+    /// Settling time of a feedback solve (INV/PINV); grows with the
+    /// condition number in practice, a constant captures the typical case.
+    pub solve_settle: f64,
+    /// Energy per DAC conversion, joules.
+    pub dac_energy: f64,
+    /// Walden figure of merit: joules per conversion step (energy per ADC
+    /// conversion is `fom · 2^bits`).
+    pub adc_fom: f64,
+    /// ADC resolution used for the energy estimate.
+    pub adc_bits: u32,
+    /// Static array power during evaluation at read bias, watts per active
+    /// cell (I·V at mid conductance ≈ 50 µS · (0.2 V)²).
+    pub cell_read_power: f64,
+    /// Energy per write-verify pulse, joules (≈ 50 µA · 2 V · 30 ns).
+    pub write_pulse_energy: f64,
+}
+
+impl Default for AnalogCostModel {
+    fn default() -> Self {
+        Self {
+            mvm_settle: 100e-9,
+            solve_settle: 500e-9,
+            dac_energy: 1e-12,
+            adc_fom: 50e-15,
+            adc_bits: 10,
+            cell_read_power: 50e-6 * 0.2 * 0.2,
+            write_pulse_energy: 50e-6 * 2.0 * 30e-9,
+        }
+    }
+}
+
+impl AnalogCostModel {
+    fn adc_energy(&self) -> f64 {
+        self.adc_fom * f64::from(1u32 << self.adc_bits)
+    }
+
+    /// Cost of one `n × n` analog MVM (differential pair: 2n² active cells,
+    /// n DAC + n ADC conversions, one settling interval).
+    pub fn mvm(&self, n: usize) -> Cost {
+        let nf = n as f64;
+        Cost {
+            latency: self.mvm_settle,
+            energy: 2.0 * nf * nf * self.cell_read_power * self.mvm_settle
+                + nf * (self.dac_energy + self.adc_energy()),
+        }
+    }
+
+    /// Cost of one `n × n` analog INV/PINV solve — one settling interval
+    /// regardless of `n` (the "one-step" claim), with the array biased for
+    /// the duration.
+    pub fn solve(&self, n: usize) -> Cost {
+        let nf = n as f64;
+        Cost {
+            latency: self.solve_settle,
+            energy: 2.0 * nf * nf * self.cell_read_power * self.solve_settle
+                + nf * (self.dac_energy + self.adc_energy()),
+        }
+    }
+
+    /// Cost of programming an `n × n` operator (two differential planes)
+    /// with `pulses_per_cell` average write-verify pulses.
+    pub fn program(&self, n: usize, pulses_per_cell: f64) -> Cost {
+        let cells = 2.0 * (n * n) as f64;
+        Cost {
+            latency: cells * pulses_per_cell * 30e-9, // serial word-line writes
+            energy: cells * pulses_per_cell * self.write_pulse_energy,
+        }
+    }
+}
+
+/// Cost model for the digital baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitalCostModel {
+    /// Sustained floating-point throughput, FLOP/s.
+    pub flops_per_second: f64,
+    /// Energy per floating-point operation, joules.
+    pub energy_per_flop: f64,
+}
+
+impl Default for DigitalCostModel {
+    fn default() -> Self {
+        // A competent embedded-class FP unit: 10 GFLOP/s at 10 pJ/FLOP.
+        Self { flops_per_second: 1e10, energy_per_flop: 10e-12 }
+    }
+}
+
+impl DigitalCostModel {
+    fn cost_for_flops(&self, flops: f64) -> Cost {
+        Cost {
+            latency: flops / self.flops_per_second,
+            energy: flops * self.energy_per_flop,
+        }
+    }
+
+    /// Cost of a digital `n × n` MVM (2n² FLOPs).
+    pub fn mvm(&self, n: usize) -> Cost {
+        let nf = n as f64;
+        self.cost_for_flops(2.0 * nf * nf)
+    }
+
+    /// Cost of a digital LU solve (2n³/3 + 2n² FLOPs).
+    pub fn lu_solve(&self, n: usize) -> Cost {
+        let nf = n as f64;
+        self.cost_for_flops(2.0 * nf * nf * nf / 3.0 + 2.0 * nf * nf)
+    }
+
+    /// Cost of a digital SVD-based pseudoinverse (≈ 12·m·n² FLOPs).
+    pub fn pinv(&self, m: usize, n: usize) -> Cost {
+        self.cost_for_flops(12.0 * m as f64 * (n * n) as f64)
+    }
+
+    /// Cost of `iters` power-iteration steps (2n² FLOPs each).
+    pub fn power_iteration(&self, n: usize, iters: usize) -> Cost {
+        let nf = n as f64;
+        self.cost_for_flops(2.0 * nf * nf * iters as f64)
+    }
+}
+
+/// Speedup of the analog solve over the digital LU at size `n` under the
+/// default models.
+pub fn inv_speedup(n: usize) -> f64 {
+    let analog = AnalogCostModel::default().solve(n);
+    let digital = DigitalCostModel::default().lu_solve(n);
+    digital.latency / analog.latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analog_solve_latency_is_size_independent() {
+        let m = AnalogCostModel::default();
+        assert_eq!(m.solve(8).latency, m.solve(128).latency);
+    }
+
+    #[test]
+    fn digital_lu_latency_is_cubic() {
+        let m = DigitalCostModel::default();
+        let r = m.lu_solve(128).latency / m.lu_solve(64).latency;
+        assert!(r > 6.0 && r < 8.5, "ratio {r}");
+    }
+
+    #[test]
+    fn speedup_grows_with_n_and_crosses_over() {
+        let s16 = inv_speedup(16);
+        let s128 = inv_speedup(128);
+        assert!(s128 > s16, "speedup must grow with n");
+        assert!(s128 > 100.0, "128-dim analog solve should win big: {s128}");
+    }
+
+    #[test]
+    fn energy_scales_quadratically_for_analog_solve() {
+        let m = AnalogCostModel::default();
+        let ratio = m.solve(128).energy / m.solve(64).energy;
+        assert!(ratio > 2.0 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn programming_cost_counts_both_planes() {
+        let m = AnalogCostModel::default();
+        let c = m.program(128, 20.0);
+        let cells = 2.0 * 128.0 * 128.0;
+        assert!((c.energy - cells * 20.0 * m.write_pulse_energy).abs() < 1e-18);
+    }
+
+    #[test]
+    fn costs_compose() {
+        let a = Cost { latency: 1.0, energy: 2.0 };
+        let b = Cost { latency: 0.5, energy: 0.25 };
+        let c = a.then(b);
+        assert_eq!(c.latency, 1.5);
+        assert_eq!(c.energy, 2.25);
+    }
+}

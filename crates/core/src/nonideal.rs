@@ -1,0 +1,133 @@
+//! Non-ideality configuration: every analog error source in one place.
+//!
+//! The paper attributes its ~10 % relative errors to "the quantization error
+//! and the intrinsic analog noises in the circuit"; this module enumerates
+//! those sources so experiments can enable, disable and sweep them
+//! individually (the ablation bench does exactly that).
+
+/// How conductance targets are written into the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProgrammingMode {
+    /// Full pulse-level write-verify (paper Fig. 1 / Fig. 3 blue path).
+    /// Slow but faithful; residual error is whatever the verify band leaves.
+    Pulse,
+    /// Direct gap seating with Gaussian programming error of the given
+    /// sigma in level units — statistically equivalent to the write-verify
+    /// residual, used by throughput-heavy pipelines (LeNet-5).
+    Direct {
+        /// Programming error, 1σ, in level units.
+        sigma_levels: f64,
+    },
+}
+
+/// Aggregate non-ideality knobs for a macro group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonidealityConfig {
+    /// Conductance quantization bits per cell (paper: 4).
+    pub weight_bits: u32,
+    /// Programming path.
+    pub programming: ProgrammingMode,
+    /// Relative read noise per conductance read, 1σ.
+    pub read_noise_rel: f64,
+    /// Cycle-to-cycle gap noise per programming pulse, 1σ, nm.
+    pub c2c_gap_sigma: f64,
+    /// Device-to-device sigma on the current prefactor `I0` (relative).
+    pub d2d_i0_sigma: f64,
+    /// Device-to-device sigma on the gap length `g0` (relative).
+    pub d2d_g0_sigma: f64,
+    /// Op-amp open-loop gain; `None` = ideal infinite gain.
+    pub opamp_gain: Option<f64>,
+    /// Op-amp input offset voltage, 1σ, volts.
+    pub opamp_offset_sigma: f64,
+    /// Input DAC resolution in bits.
+    pub dac_bits: u32,
+    /// Output ADC resolution in bits.
+    pub adc_bits: u32,
+    /// Wire resistance per crossbar segment, ohms (0 = neglected, as in the
+    /// paper's simulations).
+    pub wire_resistance: f64,
+}
+
+impl NonidealityConfig {
+    /// The paper's simulation conditions: 4-bit weights, write-verify
+    /// residual of ±0.4 level, 1 % read noise, realistic converters and
+    /// op-amps.
+    pub fn paper_default() -> Self {
+        Self {
+            weight_bits: 4,
+            programming: ProgrammingMode::Direct { sigma_levels: 0.2 },
+            read_noise_rel: 0.01,
+            c2c_gap_sigma: 0.002,
+            d2d_i0_sigma: 0.02,
+            d2d_g0_sigma: 0.005,
+            opamp_gain: Some(1e4),
+            opamp_offset_sigma: 1e-4,
+            dac_bits: 8,
+            adc_bits: 10,
+            wire_resistance: 0.0,
+        }
+    }
+
+    /// Everything ideal except the (unavoidable) weight quantization.
+    pub fn quantization_only(weight_bits: u32) -> Self {
+        Self {
+            weight_bits,
+            programming: ProgrammingMode::Direct { sigma_levels: 0.0 },
+            read_noise_rel: 0.0,
+            c2c_gap_sigma: 0.0,
+            d2d_i0_sigma: 0.0,
+            d2d_g0_sigma: 0.0,
+            opamp_gain: None,
+            opamp_offset_sigma: 0.0,
+            dac_bits: 16,
+            adc_bits: 24,
+            wire_resistance: 0.0,
+        }
+    }
+
+    /// Fully ideal: 8-bit weights, no noise — for numerical validation of
+    /// the analog paths against the digital baseline.
+    pub fn ideal() -> Self {
+        Self::quantization_only(8)
+    }
+
+    /// Returns this configuration with pulse-level write-verify programming.
+    pub fn with_pulse_programming(mut self) -> Self {
+        self.programming = ProgrammingMode::Pulse;
+        self
+    }
+}
+
+impl Default for NonidealityConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_4_bit() {
+        let c = NonidealityConfig::paper_default();
+        assert_eq!(c.weight_bits, 4);
+        assert!(c.read_noise_rel > 0.0);
+        assert!(c.opamp_gain.is_some());
+    }
+
+    #[test]
+    fn ideal_silences_all_noise() {
+        let c = NonidealityConfig::ideal();
+        assert_eq!(c.read_noise_rel, 0.0);
+        assert_eq!(c.opamp_offset_sigma, 0.0);
+        assert_eq!(c.d2d_i0_sigma, 0.0);
+        assert!(matches!(c.programming, ProgrammingMode::Direct { sigma_levels } if sigma_levels == 0.0));
+    }
+
+    #[test]
+    fn pulse_programming_builder() {
+        let c = NonidealityConfig::paper_default().with_pulse_programming();
+        assert_eq!(c.programming, ProgrammingMode::Pulse);
+    }
+}

@@ -1,0 +1,265 @@
+//! The register array and transmission-gate configuration (paper Fig. 2:
+//! "The configuration messages are stored in the register array in advance
+//! and will control the transmission gates (on or off), thus configuring the
+//! connections between memory and OPAs").
+
+use std::fmt;
+
+/// The four computing configurations of an AMC macro, plus idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MacroMode {
+    /// No computation configured; drivers disconnected.
+    #[default]
+    Idle,
+    /// Matrix-vector multiplication (open loop, TIA read-out).
+    Mvm,
+    /// Linear-system solve `Ax = b` (crossbar feedback).
+    Inv,
+    /// Least-squares solve `x = A⁺b` (two-array cascade).
+    Pinv,
+    /// Dominant eigenvector (eigenvalue feedback conductance).
+    Egv,
+}
+
+impl MacroMode {
+    /// Opcode used in the register encoding and the ISA.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            MacroMode::Idle => 0,
+            MacroMode::Mvm => 1,
+            MacroMode::Inv => 2,
+            MacroMode::Pinv => 3,
+            MacroMode::Egv => 4,
+        }
+    }
+
+    /// Inverse of [`opcode`](Self::opcode).
+    pub fn from_opcode(op: u8) -> Option<Self> {
+        match op {
+            0 => Some(MacroMode::Idle),
+            1 => Some(MacroMode::Mvm),
+            2 => Some(MacroMode::Inv),
+            3 => Some(MacroMode::Pinv),
+            4 => Some(MacroMode::Egv),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MacroMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MacroMode::Idle => "IDLE",
+            MacroMode::Mvm => "MVM",
+            MacroMode::Inv => "INV",
+            MacroMode::Pinv => "PINV",
+            MacroMode::Egv => "EGV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-op-amp role selected by the transmission gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpampRole {
+    /// Disconnected.
+    #[default]
+    Off,
+    /// Transimpedance amplifier (feedback conductance to its row).
+    Tia,
+    /// Unity-gain analog inverter.
+    Inverter,
+    /// High-gain sense amplifier (PINV stage 2).
+    Sense,
+}
+
+/// The transmission-gate configuration derived from a [`MacroMode`] for a
+/// bank of `n` op-amps on an `n`-row array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateConfiguration {
+    /// Role of each op-amp in the bank (`2n` entries: `n` row amps then `n`
+    /// auxiliary amps usable as inverters).
+    pub roles: Vec<OpampRole>,
+    /// Whether each column's output-feedback gate is closed (INV/EGV wire
+    /// op-amp outputs back into the array columns).
+    pub column_feedback: Vec<bool>,
+    /// Whether the input DAC drivers are connected to the columns (MVM) or
+    /// converted to row current injection (INV/PINV).
+    pub dac_to_columns: bool,
+}
+
+/// The register array: raw configuration words plus the decoded gate state.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_core::{RegisterArray, MacroMode};
+///
+/// let mut regs = RegisterArray::new(4);
+/// regs.configure(MacroMode::Inv);
+/// assert_eq!(regs.mode(), MacroMode::Inv);
+/// assert!(regs.gates().column_feedback.iter().all(|&g| g));
+/// let words = regs.words().to_vec();
+/// let decoded = RegisterArray::from_words(4, &words).unwrap();
+/// assert_eq!(decoded.mode(), MacroMode::Inv);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterArray {
+    n: usize,
+    mode: MacroMode,
+}
+
+impl RegisterArray {
+    /// Creates the register array for an `n`-row macro, initially idle.
+    pub fn new(n: usize) -> Self {
+        Self { n, mode: MacroMode::Idle }
+    }
+
+    /// Currently configured mode.
+    pub fn mode(&self) -> MacroMode {
+        self.mode
+    }
+
+    /// Row count this register bank serves.
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Stores a new configuration (the paper's "register configuration"
+    /// pipeline stage).
+    pub fn configure(&mut self, mode: MacroMode) {
+        self.mode = mode;
+    }
+
+    /// Decodes the transmission-gate pattern for the current mode.
+    pub fn gates(&self) -> GateConfiguration {
+        let n = self.n;
+        let mut roles = vec![OpampRole::Off; 2 * n];
+        let (column_feedback, dac_to_columns) = match self.mode {
+            MacroMode::Idle => (vec![false; n], false),
+            MacroMode::Mvm => {
+                for r in roles.iter_mut().take(n) {
+                    *r = OpampRole::Tia;
+                }
+                for r in roles.iter_mut().skip(n) {
+                    *r = OpampRole::Inverter;
+                }
+                (vec![false; n], true)
+            }
+            MacroMode::Inv => {
+                for r in roles.iter_mut().take(n) {
+                    *r = OpampRole::Sense;
+                }
+                for r in roles.iter_mut().skip(n) {
+                    *r = OpampRole::Inverter;
+                }
+                (vec![true; n], false)
+            }
+            MacroMode::Pinv => {
+                for r in roles.iter_mut().take(n) {
+                    *r = OpampRole::Tia;
+                }
+                for r in roles.iter_mut().skip(n) {
+                    *r = OpampRole::Sense;
+                }
+                (vec![true; n], false)
+            }
+            MacroMode::Egv => {
+                for r in roles.iter_mut().take(n) {
+                    *r = OpampRole::Tia;
+                }
+                for r in roles.iter_mut().skip(n) {
+                    *r = OpampRole::Inverter;
+                }
+                (vec![true; n], false)
+            }
+        };
+        GateConfiguration { roles, column_feedback, dac_to_columns }
+    }
+
+    /// Serializes the configuration to register words (1 mode word; gate
+    /// state is derived, exactly as a decoder PLA would).
+    pub fn words(&self) -> Vec<u32> {
+        vec![u32::from(self.mode.opcode()) | ((self.n as u32) << 8)]
+    }
+
+    /// Reconstructs a register array from its words.
+    ///
+    /// Returns `None` for malformed words or mismatched row counts.
+    pub fn from_words(n: usize, words: &[u32]) -> Option<Self> {
+        let w = *words.first()?;
+        if (w >> 8) as usize != n {
+            return None;
+        }
+        let mode = MacroMode::from_opcode((w & 0xFF) as u8)?;
+        Some(Self { n, mode })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for m in [MacroMode::Idle, MacroMode::Mvm, MacroMode::Inv, MacroMode::Pinv, MacroMode::Egv]
+        {
+            assert_eq!(MacroMode::from_opcode(m.opcode()), Some(m));
+        }
+        assert_eq!(MacroMode::from_opcode(99), None);
+    }
+
+    #[test]
+    fn idle_disconnects_everything() {
+        let regs = RegisterArray::new(8);
+        let g = regs.gates();
+        assert!(g.roles.iter().all(|&r| r == OpampRole::Off));
+        assert!(g.column_feedback.iter().all(|&f| !f));
+        assert!(!g.dac_to_columns);
+    }
+
+    #[test]
+    fn mvm_uses_tias_and_open_loop() {
+        let mut regs = RegisterArray::new(4);
+        regs.configure(MacroMode::Mvm);
+        let g = regs.gates();
+        assert_eq!(g.roles[0], OpampRole::Tia);
+        assert_eq!(g.roles[4], OpampRole::Inverter);
+        assert!(g.dac_to_columns);
+        assert!(g.column_feedback.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn feedback_modes_close_column_gates() {
+        for m in [MacroMode::Inv, MacroMode::Pinv, MacroMode::Egv] {
+            let mut regs = RegisterArray::new(4);
+            regs.configure(m);
+            let g = regs.gates();
+            assert!(g.column_feedback.iter().all(|&f| f), "{m}");
+            assert!(!g.dac_to_columns, "{m}");
+        }
+    }
+
+    #[test]
+    fn word_serialization_roundtrips() {
+        for m in [MacroMode::Mvm, MacroMode::Egv] {
+            let mut regs = RegisterArray::new(128);
+            regs.configure(m);
+            let words = regs.words();
+            let back = RegisterArray::from_words(128, &words).unwrap();
+            assert_eq!(back, regs);
+        }
+        assert!(RegisterArray::from_words(64, &RegisterArray::new(128).words()).is_none());
+        assert!(RegisterArray::from_words(4, &[4 | (4 << 8)]).is_some());
+        assert!(RegisterArray::from_words(4, &[9 | (4 << 8)]).is_none());
+    }
+
+    #[test]
+    fn reconfiguration_is_idempotent() {
+        let mut regs = RegisterArray::new(4);
+        regs.configure(MacroMode::Pinv);
+        let g1 = regs.gates();
+        regs.configure(MacroMode::Pinv);
+        assert_eq!(regs.gates(), g1);
+    }
+}

@@ -1,0 +1,35 @@
+use gramc_device::*;
+use rand::SeedableRng;
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let q = LevelQuantizer::paper_default();
+    for step in [0.01, 0.02] {
+        let mut cell = OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::none());
+        let mut vg = 0.72;
+        print!("SET vg_step={step}: ");
+        for _ in 0..30 {
+            cell.set_pulse(vg, 2.0, 30e-9, &mut rng);
+            vg += step;
+            print!("{} ", q.level_of(cell.read_ideal()));
+        }
+        println!();
+    }
+    for step in [0.02, 0.03] {
+        // Start from exactly level 15 (write-verified state).
+        let mut cell = OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::none());
+        // crude approximate program to level 15 via feedback ramp
+        let mut vg = 0.72;
+        while cell.read_ideal() < 100e-6 && vg < 1.6 {
+            cell.set_pulse(vg, 2.0, 30e-9, &mut rng);
+            vg += 0.01;
+        }
+        print!("RESET from level {} vsl_step={step}: ", q.level_of(cell.read_ideal()));
+        let mut vsl = 0.8;
+        for _ in 0..30 {
+            cell.reset_pulse(3.2, vsl, 30e-9, &mut rng);
+            vsl += step;
+            print!("{} ", q.level_of(cell.read_ideal()));
+        }
+        println!();
+    }
+}

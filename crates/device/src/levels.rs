@@ -1,0 +1,172 @@
+//! Multi-level conductance quantization.
+//!
+//! The paper programs each RRAM cell to one of 16 levels (4 bits) spread
+//! linearly across the 1–100 µS conductance window ("The conductance range of
+//! model is 1-100 µS, spanning from level 0 to level 15").
+
+/// One microsiemens, in siemens.
+pub const MICRO_SIEMENS: f64 = 1e-6;
+
+/// Maps conductances to discrete levels and back.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_device::LevelQuantizer;
+///
+/// let q = LevelQuantizer::paper_default();
+/// assert_eq!(q.level_count(), 16);
+/// let g = q.conductance_of(15);
+/// assert!((g - 100e-6).abs() < 1e-12);
+/// assert_eq!(q.level_of(g), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelQuantizer {
+    g_min: f64,
+    g_max: f64,
+    levels: usize,
+}
+
+impl LevelQuantizer {
+    /// Creates a quantizer with `levels` states spread linearly over
+    /// `[g_min, g_max]` siemens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `g_max <= g_min` or either bound is
+    /// non-positive.
+    pub fn new(g_min: f64, g_max: f64, levels: usize) -> Self {
+        assert!(levels >= 2, "need at least 2 levels");
+        assert!(g_min > 0.0 && g_max > g_min, "invalid conductance window");
+        Self { g_min, g_max, levels }
+    }
+
+    /// The paper's configuration: 16 levels (4 bits) over 1–100 µS.
+    pub fn paper_default() -> Self {
+        Self::new(1.0 * MICRO_SIEMENS, 100.0 * MICRO_SIEMENS, 16)
+    }
+
+    /// A quantizer with `bits` of resolution over the paper's 1–100 µS
+    /// window (used by the non-ideality ablation).
+    pub fn with_bits(bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+        Self::new(1.0 * MICRO_SIEMENS, 100.0 * MICRO_SIEMENS, 1 << bits)
+    }
+
+    /// Number of levels.
+    pub fn level_count(&self) -> usize {
+        self.levels
+    }
+
+    /// Highest level index.
+    pub fn max_level(&self) -> usize {
+        self.levels - 1
+    }
+
+    /// Lower edge of the conductance window, in siemens.
+    pub fn g_min(&self) -> f64 {
+        self.g_min
+    }
+
+    /// Upper edge of the conductance window, in siemens.
+    pub fn g_max(&self) -> f64 {
+        self.g_max
+    }
+
+    /// Conductance spacing between adjacent levels, in siemens.
+    pub fn step(&self) -> f64 {
+        (self.g_max - self.g_min) / (self.levels - 1) as f64
+    }
+
+    /// Target conductance of a level, in siemens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds [`max_level`](Self::max_level).
+    pub fn conductance_of(&self, level: usize) -> f64 {
+        assert!(level < self.levels, "level {level} out of range");
+        self.g_min + self.step() * level as f64
+    }
+
+    /// Nearest level for a conductance (saturating at the window edges).
+    pub fn level_of(&self, conductance: f64) -> usize {
+        let raw = (conductance - self.g_min) / self.step();
+        raw.round().clamp(0.0, self.max_level() as f64) as usize
+    }
+
+    /// Continuous (fractional) level coordinate — used by the write-verify
+    /// loop to express its tolerance band in level units.
+    pub fn fractional_level(&self, conductance: f64) -> f64 {
+        (conductance - self.g_min) / self.step()
+    }
+
+    /// Quantizes a conductance to the nearest level's target value.
+    pub fn quantize(&self, conductance: f64) -> f64 {
+        self.conductance_of(self.level_of(conductance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_spec() {
+        let q = LevelQuantizer::paper_default();
+        assert_eq!(q.level_count(), 16);
+        assert!((q.conductance_of(0) - 1e-6).abs() < 1e-15);
+        assert!((q.conductance_of(15) - 100e-6).abs() < 1e-15);
+        assert!((q.step() - 6.6e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_roundtrip() {
+        let q = LevelQuantizer::paper_default();
+        for level in 0..16 {
+            assert_eq!(q.level_of(q.conductance_of(level)), level);
+        }
+    }
+
+    #[test]
+    fn level_of_saturates() {
+        let q = LevelQuantizer::paper_default();
+        assert_eq!(q.level_of(0.0), 0);
+        assert_eq!(q.level_of(1.0), 15);
+    }
+
+    #[test]
+    fn midpoints_round_to_nearest() {
+        let q = LevelQuantizer::paper_default();
+        let just_below_mid = q.conductance_of(3) + 0.49 * q.step();
+        assert_eq!(q.level_of(just_below_mid), 3);
+        let just_above_mid = q.conductance_of(3) + 0.51 * q.step();
+        assert_eq!(q.level_of(just_above_mid), 4);
+    }
+
+    #[test]
+    fn fractional_level_is_linear() {
+        let q = LevelQuantizer::paper_default();
+        let f = q.fractional_level(q.conductance_of(7) + 0.25 * q.step());
+        assert!((f - 7.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_bits_scales_levels() {
+        assert_eq!(LevelQuantizer::with_bits(4).level_count(), 16);
+        assert_eq!(LevelQuantizer::with_bits(2).level_count(), 4);
+        assert_eq!(LevelQuantizer::with_bits(8).level_count(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_level() {
+        let _ = LevelQuantizer::new(1e-6, 1e-4, 1);
+    }
+
+    #[test]
+    fn quantize_idempotent() {
+        let q = LevelQuantizer::paper_default();
+        let g = 42.3e-6;
+        assert_eq!(q.quantize(q.quantize(g)), q.quantize(g));
+    }
+}

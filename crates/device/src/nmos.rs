@@ -1,0 +1,116 @@
+//! Access-transistor model for the 1T1R cell.
+//!
+//! The paper's write-verify scheme relies on the gate voltage setting the SET
+//! compliance current (ref. [7], Gao/Chen/Yu, IEEE EDL 2015). Short-channel
+//! NMOS devices are velocity-saturated, so the saturation current is
+//! approximately **linear** in the gate overdrive — which is what makes the
+//! conductance staircase of Fig. 1(b) linear in the number of V_g steps.
+
+/// Velocity-saturated NMOS model: `I_dsat = k_sat·(V_gs − V_th)`, with a
+/// smooth quadratic triode region below `v_dsat`.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_device::Nmos;
+///
+/// let t = Nmos::default();
+/// // Saturation current is linear in gate overdrive.
+/// let i1 = t.current(1.2, 1.5);
+/// let i2 = t.current(1.7, 1.5);
+/// assert!((i2 - 2.0 * i1).abs() / i1 < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nmos {
+    /// Transconductance of the velocity-saturated device, A/V.
+    pub k_sat: f64,
+    /// Threshold voltage, V.
+    pub v_th: f64,
+    /// Drain-source voltage at which the channel saturates, V.
+    pub v_dsat: f64,
+}
+
+impl Default for Nmos {
+    fn default() -> Self {
+        // k_sat calibrated so the V_g range ≈ 0.75–1.15 V spans SET
+        // compliance currents covering the 1–100 µS window with ~1–2 levels
+        // per 20 mV gate step (see write-verify calibration in gramc-array),
+        // while leaving enough drive at V_g ≈ 3 V for RESET not to be
+        // transistor-limited.
+        Self { k_sat: 270e-6, v_th: 0.7, v_dsat: 0.3 }
+    }
+}
+
+impl Nmos {
+    /// Drain current for the given gate-source and drain-source voltages.
+    ///
+    /// Cut-off below threshold; quadratic triode below `v_dsat`; constant
+    /// (velocity-saturated) above. Monotone non-decreasing in both arguments,
+    /// which the series solver in [`crate::OneTOneR`] relies on.
+    pub fn current(&self, v_gs: f64, v_ds: f64) -> f64 {
+        if v_gs <= self.v_th || v_ds <= 0.0 {
+            return 0.0;
+        }
+        let i_sat = self.k_sat * (v_gs - self.v_th);
+        if v_ds >= self.v_dsat {
+            i_sat
+        } else {
+            let x = v_ds / self.v_dsat;
+            i_sat * x * (2.0 - x)
+        }
+    }
+
+    /// Saturation (compliance) current at gate voltage `v_g` with a grounded
+    /// source.
+    pub fn compliance(&self, v_g: f64) -> f64 {
+        self.current(v_g, self.v_dsat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cutoff_below_threshold() {
+        let t = Nmos::default();
+        assert_eq!(t.current(0.5, 1.0), 0.0);
+        assert_eq!(t.current(0.7, 1.0), 0.0);
+        assert_eq!(t.current(1.0, 0.0), 0.0);
+        assert_eq!(t.current(1.0, -0.5), 0.0);
+    }
+
+    #[test]
+    fn saturation_is_linear_in_overdrive() {
+        let t = Nmos::default();
+        let i1 = t.current(1.0, 2.0);
+        let i2 = t.current(1.3, 2.0);
+        assert!(((i2 - i1) - t.k_sat * 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_vds() {
+        let t = Nmos::default();
+        let mut last = 0.0;
+        for i in 0..100 {
+            let vds = i as f64 * 0.02;
+            let cur = t.current(1.2, vds);
+            assert!(cur >= last - 1e-15, "non-monotone at vds={vds}");
+            last = cur;
+        }
+    }
+
+    #[test]
+    fn triode_continuous_at_vdsat() {
+        let t = Nmos::default();
+        let below = t.current(1.5, t.v_dsat - 1e-9);
+        let above = t.current(1.5, t.v_dsat + 1e-9);
+        assert!((below - above).abs() < 1e-9 * t.k_sat);
+    }
+
+    #[test]
+    fn compliance_equals_saturation_current() {
+        let t = Nmos::default();
+        assert_eq!(t.compliance(1.3), t.current(1.3, 5.0));
+    }
+}

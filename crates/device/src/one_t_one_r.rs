@@ -1,0 +1,334 @@
+//! The 1-transistor–1-resistor (1T1R) cell.
+//!
+//! Per the paper (Fig. 1): "For one 1T1R cell, there are three terminals
+//! applied with voltages, including bit-line voltage (V_BL), source-line
+//! voltage (V_SL) and gate voltage (V_g), to control the write process.
+//! During SET process, only V_g is increased step by step, V_SL is grounded
+//! and V_BL is applied as V_set. By contrast, the RESET process is controlled
+//! by increasing V_SL."
+//!
+//! The cell solves the series RRAM–NMOS network self-consistently each
+//! sub-step of a pulse: the device current `I0·e^{−g/g0}·sinh(V_dev/V0)` is
+//! monotone increasing in the device voltage, while the transistor current is
+//! monotone decreasing in it (its V_ds — and during RESET also its V_gs —
+//! shrinks), so bisection on the shared current always converges.
+
+use rand::Rng;
+
+use crate::nmos::Nmos;
+use crate::stanford_pku::{gramc_box_muller, DeviceParams, RramDevice};
+
+/// Noise knobs for a 1T1R cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellNoise {
+    /// Gap perturbation (nm, 1σ) added after every programming pulse
+    /// (cycle-to-cycle variability).
+    pub c2c_gap_sigma: f64,
+    /// Relative conductance noise (1σ) on every read.
+    pub read_rel_sigma: f64,
+}
+
+impl Default for CellNoise {
+    fn default() -> Self {
+        Self { c2c_gap_sigma: 0.002, read_rel_sigma: 0.01 }
+    }
+}
+
+impl CellNoise {
+    /// A noiseless cell (used by deterministic unit tests).
+    pub fn none() -> Self {
+        Self { c2c_gap_sigma: 0.0, read_rel_sigma: 0.0 }
+    }
+}
+
+/// A 1T1R cell: RRAM device in series with its NMOS access transistor.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_device::{OneTOneR, DeviceParams, Nmos, CellNoise};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut cell = OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::none());
+/// let before = cell.read(&mut rng);
+/// cell.set_pulse(1.1, 2.0, 30e-9, &mut rng);
+/// assert!(cell.read(&mut rng) > before);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneTOneR {
+    device: RramDevice,
+    nmos: Nmos,
+    noise: CellNoise,
+    pulses_applied: u64,
+}
+
+impl OneTOneR {
+    /// Creates a cell in the high-resistance state.
+    pub fn new(device_params: DeviceParams, nmos: Nmos, noise: CellNoise) -> Self {
+        Self { device: RramDevice::new(device_params), nmos, noise, pulses_applied: 0 }
+    }
+
+    /// Creates a cell with device-to-device variation applied.
+    pub fn with_variation<R: Rng + ?Sized>(
+        device_params: DeviceParams,
+        nmos: Nmos,
+        noise: CellNoise,
+        rng: &mut R,
+        i0_rel_sigma: f64,
+        g0_rel_sigma: f64,
+    ) -> Self {
+        let device =
+            RramDevice::new(device_params).with_variation(rng, i0_rel_sigma, g0_rel_sigma);
+        Self { device, nmos, noise, pulses_applied: 0 }
+    }
+
+    /// Immutable access to the underlying device.
+    pub fn device(&self) -> &RramDevice {
+        &self.device
+    }
+
+    /// Seats the device at the gap that yields `conductance` (siemens),
+    /// clamped to the physical window. This models an oracle programming
+    /// step; the realistic pulse-level path is the write-verify controller
+    /// in `gramc-array`.
+    pub fn program_conductance(&mut self, conductance: f64) {
+        let gap = self.device.params().gap_for_conductance(conductance);
+        self.device.set_gap(gap);
+    }
+
+    /// Total programming pulses this cell has received (endurance proxy).
+    pub fn pulses_applied(&self) -> u64 {
+        self.pulses_applied
+    }
+
+    /// Noise-free read conductance in siemens.
+    pub fn read_ideal(&self) -> f64 {
+        self.device.read_conductance()
+    }
+
+    /// Read conductance with read noise applied, in siemens.
+    pub fn read<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let g = self.device.read_conductance();
+        if self.noise.read_rel_sigma == 0.0 {
+            g
+        } else {
+            (g * (1.0 + self.noise.read_rel_sigma * gramc_box_muller(rng))).max(0.0)
+        }
+    }
+
+    /// Applies one SET pulse: V_BL = `v_bl` (= V_set), V_SL = 0, gate at
+    /// `v_g`. The transistor (source grounded at SL) limits the current to
+    /// its compliance, so the final conductance tracks `v_g`.
+    pub fn set_pulse<R: Rng + ?Sized>(&mut self, v_g: f64, v_bl: f64, width: f64, rng: &mut R) {
+        self.pulse(PulsePolarity::Set, v_g, v_bl, width);
+        self.finish_pulse(rng);
+    }
+
+    /// Applies one RESET pulse: V_SL = `v_sl`, V_BL = 0, gate at `v_g`
+    /// (normally held high). The device sees reverse polarity and the
+    /// filament dissolves.
+    pub fn reset_pulse<R: Rng + ?Sized>(&mut self, v_g: f64, v_sl: f64, width: f64, rng: &mut R) {
+        self.pulse(PulsePolarity::Reset, v_g, v_sl, width);
+        self.finish_pulse(rng);
+    }
+
+    fn finish_pulse<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.pulses_applied += 1;
+        if self.noise.c2c_gap_sigma > 0.0 {
+            let jitter = self.noise.c2c_gap_sigma * gramc_box_muller(rng);
+            self.device.set_gap(self.device.gap() + jitter);
+        }
+    }
+
+    /// Integrates the series network for one pulse. The voltage divider is
+    /// re-solved *every* adaptive sub-step: the access transistor responds
+    /// instantaneously, so the device voltage must track the moving gap —
+    /// holding it fixed over a finite interval lets Joule heating run away,
+    /// which is exactly the failure mode compliance exists to prevent.
+    fn pulse(&mut self, polarity: PulsePolarity, v_g: f64, v_drive: f64, width: f64) {
+        if v_drive <= 0.0 || width <= 0.0 {
+            return;
+        }
+        let p = self.device.params().clone();
+        let max_step_nm = 0.005 * (p.gap_max - p.gap_min);
+        let mut remaining = width;
+        let mut guard = 0;
+        while remaining > 0.0 && guard < 100_000 {
+            guard += 1;
+            let v_dev = self.solve_device_voltage(polarity, v_g, v_drive);
+            let signed_v = match polarity {
+                PulsePolarity::Set => v_dev,
+                PulsePolarity::Reset => -v_dev,
+            };
+            let vel = self.device.gap_velocity(signed_v);
+            if vel.abs() < 1e-12 {
+                break;
+            }
+            let dt = (max_step_nm / vel.abs()).min(remaining);
+            self.device.set_gap(self.device.gap() + vel * dt);
+            remaining -= dt;
+            let gap = self.device.gap();
+            if (gap <= p.gap_min && vel < 0.0) || (gap >= p.gap_max && vel > 0.0) {
+                break;
+            }
+        }
+    }
+
+    /// Bisection on the device-voltage magnitude `v ∈ [0, v_drive]` where
+    /// device and transistor currents balance.
+    fn solve_device_voltage(&self, polarity: PulsePolarity, v_g: f64, v_drive: f64) -> f64 {
+        let i_dev = |v: f64| self.device.current(v); // magnitude for v >= 0
+        let i_tr = |v_dev: f64| match polarity {
+            // SET: source grounded; transistor sees V_ds = v_drive − v_dev.
+            PulsePolarity::Set => self.nmos.current(v_g, v_drive - v_dev),
+            // RESET: source is the internal node at potential v_dev, so the
+            // gate drive degenerates: V_gs = v_g − v_dev.
+            PulsePolarity::Reset => self.nmos.current(v_g - v_dev, v_drive - v_dev),
+        };
+        let mut lo = 0.0_f64;
+        let mut hi = v_drive;
+        // f(v) = i_dev(v) − i_tr(v) is monotone increasing; find its zero.
+        if i_dev(hi) - i_tr(hi) <= 0.0 {
+            // Transistor never limits: full drive across the device.
+            return hi;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if i_dev(mid) - i_tr(mid) > 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PulsePolarity {
+    Set,
+    Reset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::{LevelQuantizer, MICRO_SIEMENS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fresh_cell() -> OneTOneR {
+        OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::none())
+    }
+
+    #[test]
+    fn set_pulse_increases_conductance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cell = fresh_cell();
+        let g0 = cell.read_ideal();
+        cell.set_pulse(1.1, 2.0, 30e-9, &mut rng);
+        assert!(cell.read_ideal() > g0);
+        assert_eq!(cell.pulses_applied(), 1);
+    }
+
+    #[test]
+    fn higher_gate_voltage_reaches_higher_conductance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gs = Vec::new();
+        for vg in [0.9, 1.1, 1.3] {
+            let mut cell = fresh_cell();
+            // Several pulses so each cell reaches its compliance equilibrium.
+            for _ in 0..8 {
+                cell.set_pulse(vg, 2.0, 30e-9, &mut rng);
+            }
+            gs.push(cell.read_ideal());
+        }
+        assert!(gs[0] < gs[1] && gs[1] < gs[2], "{gs:?}");
+    }
+
+    #[test]
+    fn compliance_limits_set_conductance() {
+        // With the gate barely on, the cell must stay far from G_max even
+        // under a long SET dose.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cell = fresh_cell();
+        for _ in 0..50 {
+            cell.set_pulse(0.85, 2.0, 30e-9, &mut rng);
+        }
+        assert!(
+            cell.read_ideal() < 50.0 * MICRO_SIEMENS,
+            "G = {} µS",
+            cell.read_ideal() / MICRO_SIEMENS
+        );
+    }
+
+    #[test]
+    fn reset_pulse_decreases_conductance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cell = fresh_cell();
+        for _ in 0..10 {
+            cell.set_pulse(1.4, 2.0, 30e-9, &mut rng);
+        }
+        let g_high = cell.read_ideal();
+        for _ in 0..10 {
+            cell.reset_pulse(3.0, 1.8, 30e-9, &mut rng);
+        }
+        assert!(cell.read_ideal() < g_high);
+    }
+
+    #[test]
+    fn full_set_reset_cycle_covers_level_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = LevelQuantizer::paper_default();
+        let mut cell = fresh_cell();
+        // SET ramp to the top.
+        let mut vg = 0.75;
+        for _ in 0..120 {
+            cell.set_pulse(vg, 2.0, 30e-9, &mut rng);
+            vg += 0.02;
+        }
+        let top = q.fractional_level(cell.read_ideal());
+        assert!(top >= 14.0, "SET ramp only reached level {top:.2}");
+        // RESET ramp back down.
+        let mut vsl = 1.0;
+        for _ in 0..120 {
+            cell.reset_pulse(3.2, vsl, 30e-9, &mut rng);
+            vsl += 0.03;
+        }
+        let bottom = q.fractional_level(cell.read_ideal());
+        assert!(bottom <= 1.0, "RESET ramp only reached level {bottom:.2}");
+    }
+
+    #[test]
+    fn read_noise_has_requested_magnitude() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let noise = CellNoise { c2c_gap_sigma: 0.0, read_rel_sigma: 0.05 };
+        let mut cell = OneTOneR::new(DeviceParams::default(), Nmos::default(), noise);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        cell.set_pulse(1.2, 2.0, 30e-9, &mut rng2);
+        let g_ideal = cell.read_ideal();
+        let n = 2000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let g = cell.read(&mut rng);
+            sum += g;
+            sum_sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let std = (sum_sq / n as f64 - mean * mean).sqrt();
+        assert!((mean - g_ideal).abs() / g_ideal < 0.01);
+        let rel = std / g_ideal;
+        assert!((rel - 0.05).abs() < 0.01, "measured rel sigma {rel}");
+    }
+
+    #[test]
+    fn zero_drive_is_a_noop() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut cell = fresh_cell();
+        let g0 = cell.read_ideal();
+        cell.set_pulse(1.2, 0.0, 30e-9, &mut rng);
+        assert_eq!(cell.read_ideal(), g0);
+    }
+}

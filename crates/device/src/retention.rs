@@ -1,0 +1,167 @@
+//! Retention and endurance degradation models.
+//!
+//! The paper's write-verify scheme guarantees the state *at programming
+//! time*; what happens afterwards is governed by retention (spontaneous
+//! filament relaxation) and endurance (cycling-induced window collapse).
+//! These models let experiments ask "how long does a programmed matrix stay
+//! inside its verify band?" — the operational question for any deployed AMC
+//! system, and the paper's implicit assumption that it does.
+//!
+//! * **Retention** — the gap relaxes toward its thermal-equilibrium value
+//!   with a stretched-exponential law
+//!   `g(t) = g_eq + (g₀ − g_eq)·exp(−(t/τ)^β)`, the standard empirical form
+//!   for filamentary RRAM (β ≈ 0.3–0.5).
+//! * **Endurance** — after `N` SET/RESET cycles the usable conductance
+//!   window shrinks: `G_max(N) = G_max / (1 + (N/N₀)^γ)`-style soft
+//!   degradation of the low-gap bound.
+
+use crate::stanford_pku::RramDevice;
+
+/// Stretched-exponential retention model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionModel {
+    /// Equilibrium gap the filament relaxes toward, nm (mid-window).
+    pub gap_equilibrium: f64,
+    /// Relaxation time constant at operating temperature, seconds.
+    pub tau: f64,
+    /// Stretch exponent β ∈ (0, 1].
+    pub beta: f64,
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        // τ = 10⁷ s (~4 months) at operating temperature, β = 0.4: a
+        // mid-grade oxide RRAM retention corner.
+        Self { gap_equilibrium: 0.9, tau: 1e7, beta: 0.4 }
+    }
+}
+
+impl RetentionModel {
+    /// Gap after `elapsed` seconds of unbiased storage, starting from
+    /// `gap0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed < 0`.
+    pub fn gap_after(&self, gap0: f64, elapsed: f64) -> f64 {
+        assert!(elapsed >= 0.0, "elapsed time must be non-negative");
+        if elapsed == 0.0 {
+            return gap0;
+        }
+        let decay = (-(elapsed / self.tau).powf(self.beta)).exp();
+        self.gap_equilibrium + (gap0 - self.gap_equilibrium) * decay
+    }
+
+    /// Applies `elapsed` seconds of retention drift to a device in place.
+    pub fn age_device(&self, device: &mut RramDevice, elapsed: f64) {
+        let g = self.gap_after(device.gap(), elapsed);
+        device.set_gap(g);
+    }
+
+    /// Time until a state programmed at `gap0` drifts by `delta_gap` nm
+    /// (∞ if it never does — e.g. already at equilibrium).
+    pub fn time_to_drift(&self, gap0: f64, delta_gap: f64) -> f64 {
+        let total = (gap0 - self.gap_equilibrium).abs();
+        if total <= delta_gap || total == 0.0 {
+            return f64::INFINITY;
+        }
+        // Solve |g(t) − g0| = delta: exp(−(t/τ)^β) = 1 − delta/total.
+        let frac: f64 = 1.0 - delta_gap / total;
+        self.tau * (-frac.ln()).powf(1.0 / self.beta)
+    }
+}
+
+/// Soft endurance degradation of the conductance window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnduranceModel {
+    /// Cycle count at which degradation becomes significant.
+    pub n0: f64,
+    /// Degradation sharpness exponent.
+    pub gamma: f64,
+}
+
+impl Default for EnduranceModel {
+    fn default() -> Self {
+        Self { n0: 1e6, gamma: 1.5 }
+    }
+}
+
+impl EnduranceModel {
+    /// Fraction of the original conductance window still usable after
+    /// `cycles` SET/RESET cycles (1.0 = pristine, → 0 as the window
+    /// collapses).
+    pub fn window_fraction(&self, cycles: u64) -> f64 {
+        1.0 / (1.0 + (cycles as f64 / self.n0).powf(self.gamma))
+    }
+
+    /// Effective usable level count after `cycles`, given a pristine level
+    /// count (rounds down; at least 2 while any window remains).
+    pub fn usable_levels(&self, pristine_levels: usize, cycles: u64) -> usize {
+        let f = self.window_fraction(cycles);
+        ((pristine_levels as f64 * f).floor() as usize).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stanford_pku::DeviceParams;
+
+    #[test]
+    fn no_time_no_drift() {
+        let r = RetentionModel::default();
+        assert_eq!(r.gap_after(0.3, 0.0), 0.3);
+    }
+
+    #[test]
+    fn drift_is_monotone_toward_equilibrium() {
+        let r = RetentionModel::default();
+        let mut last = 0.3;
+        for t in [1e3, 1e5, 1e7, 1e9] {
+            let g = r.gap_after(0.3, t);
+            assert!(g > last - 1e-12, "gap should rise toward equilibrium");
+            assert!(g <= r.gap_equilibrium + 1e-12);
+            last = g;
+        }
+        // From above equilibrium it falls instead.
+        assert!(r.gap_after(1.4, 1e9) < 1.4);
+    }
+
+    #[test]
+    fn infinite_time_reaches_equilibrium() {
+        let r = RetentionModel::default();
+        let g = r.gap_after(0.3, 1e15);
+        assert!((g - r.gap_equilibrium).abs() < 1e-3);
+    }
+
+    #[test]
+    fn time_to_drift_is_consistent_with_gap_after() {
+        let r = RetentionModel::default();
+        let t = r.time_to_drift(0.3, 0.05);
+        assert!(t.is_finite());
+        let g = r.gap_after(0.3, t);
+        assert!(((g - 0.3).abs() - 0.05).abs() < 1e-9, "drift {}", (g - 0.3).abs());
+        // Already at equilibrium: never drifts.
+        assert!(r.time_to_drift(r.gap_equilibrium, 0.01).is_infinite());
+    }
+
+    #[test]
+    fn age_device_moves_conductance() {
+        let r = RetentionModel::default();
+        let mut dev = RramDevice::with_conductance(DeviceParams::default(), 80e-6);
+        let g0 = dev.read_conductance();
+        r.age_device(&mut dev, 1e8);
+        assert!(dev.read_conductance() < g0, "high-G state should decay");
+    }
+
+    #[test]
+    fn endurance_window_shrinks() {
+        let e = EnduranceModel::default();
+        assert!(e.window_fraction(0) > 0.999);
+        assert!(e.window_fraction(1_000_000) < 0.6);
+        assert!(e.window_fraction(100_000_000) < 0.01);
+        assert!(e.usable_levels(16, 0) == 16);
+        assert!(e.usable_levels(16, 10_000_000) < 16);
+        assert!(e.usable_levels(16, u64::MAX / 2) >= 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Cholesky factorization for symmetric positive-definite systems — the
+//! specialized digital baseline for the SPD workloads (Wishart, Gram,
+//! screened Poisson) that the analog INV mode targets, at half the cost of
+//! LU.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Cholesky factorization `A = L·Lᵀ` with `L` lower-triangular.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_linalg::{Matrix, Cholesky};
+///
+/// # fn main() -> Result<(), gramc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::new(&a)?;
+/// let x = ch.solve(&[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes the symmetric positive-definite matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::InvalidArgument`] if `a` is empty or asymmetric.
+    /// * [`LinalgError::Singular`] if a non-positive pivot appears (i.e.
+    ///   `a` is not positive definite to working precision).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { found: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::InvalidArgument("empty matrix"));
+        }
+        let scale = a.max_abs().max(1.0);
+        if !a.is_symmetric(1e-9 * scale) {
+            return Err(LinalgError::InvalidArgument("matrix is not symmetric"));
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 1e-13 * scale {
+                return Err(LinalgError::Singular { pivot: j });
+            }
+            let ljj = d.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { expected: (n, 1), found: (b.len(), 1) });
+        }
+        // Forward: L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (numerically stable for large SPD matrices).
+    pub fn log_det(&self) -> f64 {
+        2.0 * self.l.diag().iter().map(|d| d.ln()).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{normal_vector, seeded_rng, spd_with_condition, wishart};
+
+    #[test]
+    fn reconstructs_llt() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.5], &[2.0, 5.0, 1.0], &[0.5, 1.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose());
+        assert!(rec.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let mut rng = seeded_rng(400);
+        let a = wishart(&mut rng, 12, 24);
+        let b = normal_vector(&mut rng, 12);
+        let x_ch = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        for (u, v) in x_ch.iter().zip(&x_lu) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, −1
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_nonsquare() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::InvalidArgument(_))));
+        assert!(matches!(Cholesky::new(&Matrix::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn log_det_matches_lu_det() {
+        let mut rng = seeded_rng(401);
+        let a = spd_with_condition(&mut rng, 8, 10.0);
+        let ch = Cholesky::new(&a).unwrap();
+        let det = crate::lu::det(&a);
+        assert!((ch.log_det() - det.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rhs_length_validated() {
+        let ch = Cholesky::new(&Matrix::identity(3)).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Eigenvalue solvers: cyclic Jacobi for symmetric matrices (the digital
+//! baseline for the EGV experiment, Fig. 4d) and power iteration for dominant
+//! eigenpairs (used to program the eigenvalue feedback conductance on chip).
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Full eigendecomposition of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Column `j` of this matrix is the eigenvector for `eigenvalues[j]`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes all eigenpairs of the symmetric matrix `a` with the cyclic
+    /// Jacobi method (robust, O(n³) per sweep, typically < 10 sweeps).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::InvalidArgument`] if `a` is not symmetric to `1e-9`
+    ///   relative tolerance or is empty.
+    /// * [`LinalgError::NoConvergence`] if the off-diagonal mass does not
+    ///   vanish within the sweep budget.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gramc_linalg::{Matrix, SymmetricEigen};
+    ///
+    /// # fn main() -> Result<(), gramc_linalg::LinalgError> {
+    /// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+    /// let eig = SymmetricEigen::new(&a)?;
+    /// assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-10);
+    /// assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { found: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::InvalidArgument("empty matrix"));
+        }
+        let scale = a.max_abs().max(1.0);
+        if !a.is_symmetric(1e-9 * scale) {
+            return Err(LinalgError::InvalidArgument("matrix is not symmetric"));
+        }
+
+        let mut m = a.clone();
+        let mut v = Matrix::identity(n);
+        let max_sweeps = 64;
+        let tol = 1e-14 * scale;
+
+        for _sweep in 0..max_sweeps {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m[(i, j)] * m[(i, j)];
+                }
+            }
+            if off.sqrt() <= tol * (n as f64) {
+                return Ok(Self::sorted(m, v));
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol {
+                        continue;
+                    }
+                    // Jacobi rotation annihilating m[p][q].
+                    let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        Err(LinalgError::NoConvergence { iterations: max_sweeps, residual: off.sqrt() })
+    }
+
+    fn sorted(m: Matrix, v: Matrix) -> Self {
+        let n = m.rows();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let diag = m.diag();
+        idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("NaN eigenvalue"));
+        let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+        let eigenvectors = Matrix::from_fn(n, n, |i, j| v[(i, idx[j])]);
+        Self { eigenvalues, eigenvectors }
+    }
+
+    /// The eigenvector for the `k`-th largest eigenvalue (column `k`).
+    pub fn eigenvector(&self, k: usize) -> Vec<f64> {
+        self.eigenvectors.col(k)
+    }
+}
+
+/// Result of a dominant-eigenpair computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenPair {
+    /// The eigenvalue.
+    pub value: f64,
+    /// The unit-norm eigenvector.
+    pub vector: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Computes the dominant eigenpair of `a` by power iteration with Rayleigh
+/// quotient estimates.
+///
+/// This mirrors what GRAMC's digital controller does to obtain the eigenvalue
+/// estimate λ̂ that is programmed into the EGV feedback conductance.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is not square.
+/// * [`LinalgError::NoConvergence`] if the iteration stalls (e.g. the two
+///   dominant eigenvalues have equal magnitude).
+pub fn power_iteration(a: &Matrix, max_iters: usize, tol: f64) -> Result<EigenPair, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { found: a.shape() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::InvalidArgument("empty matrix"));
+    }
+    // Deterministic pseudo-random start vector to avoid orthogonal starts.
+    let x0: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 2654435761) % 97) as f64 / 97.0).collect();
+    let (mut x, _) = vector::normalize(&x0);
+    let mut lambda = 0.0;
+    for it in 0..max_iters {
+        let y = a.matvec(&x);
+        let new_lambda = vector::dot(&x, &y);
+        let (y_norm, norm) = vector::normalize(&y);
+        if norm == 0.0 {
+            // a·x = 0: x is an eigenvector with eigenvalue 0.
+            return Ok(EigenPair { value: 0.0, vector: x, iterations: it + 1 });
+        }
+        let delta = vector::rel_error_up_to_sign(&y_norm, &x);
+        x = y_norm;
+        lambda = new_lambda;
+        if delta < tol {
+            return Ok(EigenPair { value: lambda, vector: x, iterations: it + 1 });
+        }
+    }
+    Err(LinalgError::NoConvergence { iterations: max_iters, residual: lambda })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two_known_spectrum() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // Eigenvector of λ=3 is (1,1)/√2 up to sign.
+        let v = e.eigenvector(0);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v[0] - v[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_v_lambda_vt() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.5],
+            &[0.5, -0.5, 2.0],
+        ]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let lam = Matrix::from_diag(&e.eigenvalues);
+        let rec = e.eigenvectors.matmul(&lam).matmul(&e.eigenvectors.transpose());
+        assert!(rec.approx_eq(&a, 1e-10));
+        // Orthonormal eigenvectors.
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors);
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_diag(&[1.0, 5.0, 3.0, -2.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![5.0, 3.0, 1.0, -2.0]);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(matches!(SymmetricEigen::new(&a), Err(LinalgError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn power_iteration_matches_jacobi() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 1.0, 0.0],
+            &[1.0, 4.0, 1.0],
+            &[0.0, 1.0, 3.0],
+        ]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let p = power_iteration(&a, 5000, 1e-12).unwrap();
+        assert!((p.value - e.eigenvalues[0]).abs() < 1e-8);
+        assert!(vector::rel_error_up_to_sign(&p.vector, &e.eigenvector(0)) < 1e-5);
+    }
+
+    #[test]
+    fn power_iteration_on_zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let p = power_iteration(&a, 10, 1e-12).unwrap();
+        assert_eq!(p.value, 0.0);
+    }
+
+    #[test]
+    fn gram_matrix_is_psd() {
+        // Gram matrices (the EGV workload) must produce non-negative spectra.
+        let x = Matrix::from_fn(4, 3, |i, j| ((i + 2 * j) as f64).cos());
+        let g = x.transpose().matmul(&x);
+        let e = SymmetricEigen::new(&g).unwrap();
+        for &lam in &e.eigenvalues {
+            assert!(lam > -1e-10, "negative eigenvalue {lam} in Gram matrix");
+        }
+    }
+}

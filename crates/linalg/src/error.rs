@@ -1,0 +1,83 @@
+//! Error type shared by all decompositions and solvers in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Shape that was actually supplied.
+        found: (usize, usize),
+    },
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Shape required by the operation.
+        expected: (usize, usize),
+        /// Shape that was actually supplied.
+        found: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) to working precision.
+    Singular {
+        /// Pivot index at which factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual measure at the point of failure.
+        residual: f64,
+    },
+    /// An argument was outside the routine's domain (e.g. empty matrix).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { found } => {
+                write!(f, "expected a square matrix, found {}x{}", found.0, found.1)
+            }
+            LinalgError::ShapeMismatch { expected, found } => write!(
+                f,
+                "shape mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision at pivot {pivot}")
+            }
+            LinalgError::NoConvergence { iterations, residual } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::Singular { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+        let e = LinalgError::ShapeMismatch { expected: (2, 2), found: (3, 1) };
+        assert!(e.to_string().contains("2x2"));
+        assert!(e.to_string().contains("3x1"));
+        let e = LinalgError::NoConvergence { iterations: 7, residual: 0.5 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # gramc-linalg
+//!
+//! Dense linear-algebra substrate for the GRAMC analog matrix computing
+//! simulator.
+//!
+//! The paper ("GRAMC: General-Purpose and Reconfigurable Analog Matrix
+//! Computing Architecture", DATE 2025) validates its analog circuits against
+//! "numerical results from Python". This crate is that numerical baseline,
+//! implemented from scratch:
+//!
+//! * [`Matrix`] — dense row-major `f64` matrix with the usual arithmetic,
+//! * [`LuDecomposition`] — LU with partial pivoting (solve / inverse / det),
+//!   also the engine behind the MNA circuit solves in `gramc-circuit`,
+//! * [`QrDecomposition`] — Householder QR and least squares,
+//! * [`SymmetricEigen`] / [`power_iteration`] — eigensolvers (EGV baseline),
+//! * [`Svd`] / [`pseudoinverse`] — one-sided Jacobi SVD (PINV baseline),
+//! * [`iterative`] — CG / Richardson with warm starts, quantifying the
+//!   paper's "analog seed solution" claim,
+//! * [`random`] — seeded Wishart / Gram / Gaussian workload generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use gramc_linalg::{random, lu, Matrix};
+//!
+//! # fn main() -> Result<(), gramc_linalg::LinalgError> {
+//! let mut rng = random::seeded_rng(42);
+//! let a = random::wishart(&mut rng, 8, 16);
+//! let b = random::normal_vector(&mut rng, 8);
+//! let x = lu::solve(&a, &b)?;
+//! let residual: f64 = gramc_linalg::vector::rel_error(&a.matvec(&x), &b);
+//! assert!(residual < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod matrix;
+
+pub mod eigen;
+pub mod iterative;
+pub mod lu;
+pub mod qr;
+pub mod random;
+pub mod svd;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+pub use eigen::{power_iteration, EigenPair, SymmetricEigen};
+pub use iterative::{conjugate_gradient, richardson, IterativeSolution};
+pub use lu::LuDecomposition;
+pub use qr::QrDecomposition;
+pub use svd::{pseudoinverse, Svd};

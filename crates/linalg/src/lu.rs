@@ -1,0 +1,280 @@
+//! LU factorization with partial pivoting: the workhorse behind the digital
+//! baseline solver (`x = A⁻¹b`) and the MNA solves in `gramc-circuit`.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// LU factorization `P·A = L·U` with partial (row) pivoting.
+///
+/// `L` has a unit diagonal and is stored together with `U` in a single packed
+/// matrix. Construct with [`LuDecomposition::new`], then call
+/// [`solve`](LuDecomposition::solve) any number of times.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_linalg::{Matrix, LuDecomposition};
+///
+/// # fn main() -> Result<(), gramc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed L (unit lower, below diagonal) and U (upper, including diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (±1), used for the determinant.
+    perm_sign: f64,
+}
+
+/// Pivot magnitudes below this threshold are treated as singular.
+const SINGULARITY_TOL: f64 = 1e-13;
+
+impl LuDecomposition {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot smaller than the singularity
+    ///   threshold (relative to the matrix scale) is encountered.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { found: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::InvalidArgument("empty matrix"));
+        }
+        let scale = a.max_abs().max(1.0);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest remaining entry in column k
+            // to the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= SINGULARITY_TOL * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                lu.swap_rows(k, pivot_row);
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Self { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch { expected: (n, 1), found: (b.len(), 1) });
+        }
+        // Forward substitution with permuted RHS (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = sum;
+        }
+        // Back substitution on U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `B.rows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch { expected: (n, b.cols()), found: b.shape() });
+        }
+        let mut x = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j))?;
+            for i in 0..n {
+                x[(i, j)] = col[i];
+            }
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        self.perm_sign * self.lu.diag().iter().product::<f64>()
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully constructed
+    /// factorization, but the signature is kept fallible for uniformity).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Convenience: solve `A·x = b` with a fresh LU factorization.
+///
+/// # Errors
+///
+/// See [`LuDecomposition::new`] and [`LuDecomposition::solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+/// Convenience: matrix inverse via LU.
+///
+/// # Errors
+///
+/// See [`LuDecomposition::new`].
+pub fn inverse(a: &Matrix) -> Result<Matrix, LinalgError> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+/// Convenience: determinant via LU. Returns 0 for singular matrices.
+pub fn det(a: &Matrix) -> f64 {
+    match LuDecomposition::new(a) {
+        Ok(lu) => lu.det(),
+        Err(_) => 0.0,
+    }
+}
+
+/// Estimates the 1-norm condition number `‖A‖₁·‖A⁻¹‖₁` (exact inverse, so
+/// this is the true κ₁ rather than an estimate; cost is O(n³)).
+///
+/// # Errors
+///
+/// Returns an error if `a` is singular or not square.
+pub fn cond_1(a: &Matrix) -> Result<f64, LinalgError> {
+    let inv = inverse(a)?;
+    Ok(a.one_norm() * inv.one_norm())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        let expected = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expected) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = inverse(&a).unwrap();
+        assert!(a.matmul(&inv).approx_eq(&Matrix::identity(2), 1e-12));
+        assert!(inv.matmul(&a).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn determinant_of_triangular_and_permuted() {
+        let a = Matrix::from_rows(&[&[2.0, 5.0], &[0.0, 3.0]]);
+        assert!((det(&a) - 6.0).abs() < 1e-12);
+        // Row-swapped version flips the sign.
+        let b = Matrix::from_rows(&[&[0.0, 3.0], &[2.0, 5.0]]);
+        assert!((det(&b) + 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match LuDecomposition::new(&a) {
+            Err(LinalgError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}"),
+        }
+        assert_eq!(det(&a), 0.0);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[9.0, 4.0], &[8.0, 3.0]]);
+        let x = LuDecomposition::new(&a).unwrap().solve_matrix(&b).unwrap();
+        assert!(a.matmul(&x).approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn cond_of_identity_is_one() {
+        let c = cond_1(&Matrix::identity(4)).unwrap();
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rhs_length_is_validated() {
+        let lu = LuDecomposition::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

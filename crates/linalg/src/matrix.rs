@@ -1,0 +1,630 @@
+//! Dense row-major matrix of `f64` and the core arithmetic used throughout
+//! GRAMC.
+//!
+//! The matrix type is deliberately simple: a contiguous `Vec<f64>` with
+//! row-major layout. Every decomposition in this crate ([`crate::lu`],
+//! [`crate::qr`], [`crate::svd`], [`crate::eigen`]) operates on this type, and
+//! the circuit simulator stamps its nodal equations directly into it.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::error::LinalgError;
+
+/// Dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c[(1, 0)], 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Extracts the main diagonal.
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous for both operands.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += aik * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "tr_matvec dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += a * xi;
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by `s`, returning a new matrix.
+    pub fn scale(&self, s: f64) -> Matrix {
+        let data = self.data.iter().map(|v| v * s).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
+        let data = self.data.iter().map(|&v| f(v)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Extracts the sub-matrix at (`row0`, `col0`) with shape `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn block(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(row0 + rows <= self.rows && col0 + cols <= self.cols, "block out of bounds");
+        Matrix::from_fn(rows, cols, |i, j| self[(row0 + i, col0 + j)])
+    }
+
+    /// Writes `block` into this matrix with its top-left corner at
+    /// (`row0`, `col0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn set_block(&mut self, row0: usize, col0: usize, block: &Matrix) {
+        assert!(
+            row0 + block.rows <= self.rows && col0 + block.cols <= self.cols,
+            "set_block out of bounds"
+        );
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self[(row0 + i, col0 + j)] = block[(i, j)];
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (the max norm).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Induced 1-norm (maximum absolute column sum).
+    pub fn one_norm(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)].abs()).sum())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Induced ∞-norm (maximum absolute row sum).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|v| v.abs()).sum())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Sum of diagonal entries.
+    pub fn trace(&self) -> f64 {
+        self.diag().iter().sum()
+    }
+
+    /// Returns `true` if `|self - other|` is entry-wise within `tol`.
+    ///
+    /// Matrices of different shapes are never approximately equal.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Returns `true` if `|self - selfᵀ|` is entry-wise within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Swaps rows `a` and `b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "swap_rows out of bounds");
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Horizontally concatenates `self` and `rhs` (`[self | rhs]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the row counts differ.
+    pub fn hstack(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.rows, rhs.cols),
+                found: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(rhs.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Vertically concatenates `self` on top of `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
+    pub fn vstack(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (rhs.rows, self.cols),
+                found: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Ok(Matrix { rows: self.rows + rhs.rows, cols: self.cols, data })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for i in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>11.4e}", self[(i, j)])?;
+                if j + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+macro_rules! elementwise_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&Matrix> for &Matrix {
+            type Output = Matrix;
+            fn $method(self, rhs: &Matrix) -> Matrix {
+                assert_eq!(self.shape(), rhs.shape(), "elementwise op shape mismatch");
+                let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a $op b).collect();
+                Matrix { rows: self.rows, cols: self.cols, data }
+            }
+        }
+        impl $trait<Matrix> for Matrix {
+            type Output = Matrix;
+            fn $method(self, rhs: Matrix) -> Matrix {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+elementwise_binop!(Add, add, +);
+elementwise_binop!(Sub, sub, -);
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "sub_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        self.scale(s)
+    }
+}
+
+impl Mul<f64> for Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        self.scale(s)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl Neg for Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 2);
+        assert_eq!(z.shape(), (3, 2));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_ragged_panics() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[3.5, 4.0, -1.0]]);
+        assert!(a.matmul(&Matrix::identity(3)).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matvec_and_tr_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(a.tr_matvec(&[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -4.0]]);
+        assert!((m.fro_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(m.one_norm(), 4.0);
+        assert_eq!(m.inf_norm(), 4.0);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let m = Matrix::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        let b = m.block(1, 2, 3, 2);
+        assert_eq!(b[(0, 0)], 7.0);
+        let mut z = Matrix::zeros(5, 5);
+        z.set_block(1, 2, &b);
+        assert_eq!(z[(3, 3)], 18.0);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[5.0, 6.0]);
+        assert_eq!(m.row(2), &[1.0, 2.0]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 3.0);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h[(0, 2)], 3.0);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v[(3, 1)], 3.0);
+        assert!(a.hstack(&Matrix::zeros(3, 1)).is_err());
+        assert!(a.vstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 1.0]]);
+        assert_eq!((&a + &b).row(0), &[1.5, 3.0]);
+        assert_eq!((&a - &b).row(0), &[0.5, 1.0]);
+        assert_eq!((&a * 2.0).row(0), &[2.0, 4.0]);
+        assert_eq!((-&a).row(0), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        assert!(s.is_symmetric(0.0));
+        let ns = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]);
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+}

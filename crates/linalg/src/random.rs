@@ -1,0 +1,198 @@
+//! Seeded random matrix generators for the paper's workloads: Wishart
+//! matrices (Fig. 4a/4b), Gram matrices (Fig. 4d) and general Gaussian
+//! ensembles.
+//!
+//! Normal variates are produced with the Box–Muller transform so the crate
+//! only depends on `rand`'s uniform source.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Draws one standard normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// A vector of i.i.d. standard normal entries.
+pub fn normal_vector<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+/// A vector of i.i.d. uniform entries in `[lo, hi)`.
+pub fn uniform_vector<R: Rng + ?Sized>(rng: &mut R, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// An `rows × cols` matrix of i.i.d. standard normal entries.
+pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| standard_normal(rng))
+}
+
+/// A Wishart matrix `W = X·Xᵀ / k` where `X` is `n × k` standard Gaussian.
+///
+/// This is the 128×128 test matrix of Fig. 4(a)/(b): symmetric positive
+/// definite for `k ≥ n` (almost surely), with both positive and negative
+/// off-diagonal entries — exercising the differential conductance mapping.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn wishart<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Matrix {
+    assert!(k > 0, "Wishart requires k > 0 degrees of freedom");
+    let x = gaussian_matrix(rng, n, k);
+    let w = x.matmul(&x.transpose());
+    w.scale(1.0 / k as f64)
+}
+
+/// A Gram matrix `G = Xᵀ·X / m` of `m` random feature vectors in `Rⁿ`
+/// (the Fig. 4(d) EGV workload): symmetric positive semi-definite.
+pub fn gram<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize) -> Matrix {
+    assert!(m > 0, "Gram requires m > 0 samples");
+    let x = gaussian_matrix(rng, m, n);
+    x.transpose().matmul(&x).scale(1.0 / m as f64)
+}
+
+/// A random orthogonal matrix from the QR of a Gaussian matrix (Haar-ish).
+pub fn random_orthogonal<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    let g = gaussian_matrix(rng, n, n);
+    let qr = crate::qr::QrDecomposition::new(&g).expect("square Gaussian is full rank a.s.");
+    let mut q = qr.q();
+    // Fix the sign convention (diag of R positive) for a uniform distribution.
+    let r = qr.r();
+    for j in 0..n {
+        if r[(j, j)] < 0.0 {
+            for i in 0..n {
+                q[(i, j)] = -q[(i, j)];
+            }
+        }
+    }
+    q
+}
+
+/// A symmetric positive-definite matrix with a prescribed 2-norm condition
+/// number: `Q·diag(σ)·Qᵀ` with log-spaced spectrum from 1 to `1/cond`.
+///
+/// # Panics
+///
+/// Panics if `cond < 1` or `n == 0`.
+pub fn spd_with_condition<R: Rng + ?Sized>(rng: &mut R, n: usize, cond: f64) -> Matrix {
+    assert!(cond >= 1.0, "condition number must be >= 1");
+    assert!(n > 0, "empty matrix");
+    let q = random_orthogonal(rng, n);
+    let spectrum: Vec<f64> = (0..n)
+        .map(|i| {
+            if n == 1 {
+                1.0
+            } else {
+                // log-spaced from 1 down to 1/cond
+                (-(i as f64) / (n as f64 - 1.0) * cond.ln()).exp()
+            }
+        })
+        .collect();
+    let d = Matrix::from_diag(&spectrum);
+    q.matmul(&d).matmul(&q.transpose())
+}
+
+/// A diagonally dominant matrix with random off-diagonal couplings — always
+/// non-singular, representative of discretized PDE operators.
+pub fn diagonally_dominant<R: Rng + ?Sized>(rng: &mut R, n: usize, coupling: f64) -> Matrix {
+    let mut m = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            coupling * (rng.gen::<f64>() * 2.0 - 1.0)
+        }
+    });
+    for i in 0..n {
+        let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
+        m[(i, i)] = row_sum + 1.0;
+    }
+    m
+}
+
+/// Creates a deterministic RNG from a seed. All experiments in this
+/// repository are seeded so figures regenerate identically.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::SymmetricEigen;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded_rng(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn wishart_is_spd() {
+        let mut rng = seeded_rng(2);
+        let w = wishart(&mut rng, 12, 24);
+        assert!(w.is_symmetric(1e-12));
+        let e = SymmetricEigen::new(&w).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| l > 0.0), "{:?}", e.eigenvalues);
+    }
+
+    #[test]
+    fn gram_is_psd() {
+        let mut rng = seeded_rng(3);
+        let g = gram(&mut rng, 10, 15);
+        assert!(g.is_symmetric(1e-12));
+        let e = SymmetricEigen::new(&g).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| l > -1e-10));
+    }
+
+    #[test]
+    fn orthogonal_is_orthogonal() {
+        let mut rng = seeded_rng(4);
+        let q = random_orthogonal(&mut rng, 8);
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.approx_eq(&Matrix::identity(8), 1e-10));
+    }
+
+    #[test]
+    fn spd_condition_is_controlled() {
+        let mut rng = seeded_rng(5);
+        let a = spd_with_condition(&mut rng, 10, 100.0);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let cond = e.eigenvalues[0] / e.eigenvalues[9];
+        assert!((cond - 100.0).abs() / 100.0 < 1e-6, "cond {cond}");
+    }
+
+    #[test]
+    fn diagonally_dominant_solvable() {
+        let mut rng = seeded_rng(6);
+        let a = diagonally_dominant(&mut rng, 16, 0.5);
+        let x_true = normal_vector(&mut rng, 16);
+        let b = a.matvec(&x_true);
+        let x = crate::lu::solve(&a, &b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = wishart(&mut seeded_rng(7), 6, 12);
+        let b = wishart(&mut seeded_rng(7), 6, 12);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,267 @@
+//! Singular value decomposition (one-sided Jacobi) and the Moore–Penrose
+//! pseudoinverse — the digital baseline for the PINV experiment (Fig. 4c).
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Thin SVD `A = U·Σ·Vᵀ` of an `m × n` matrix with `m ≥ n` (tall or square).
+///
+/// Computed with the one-sided Jacobi (Hestenes) method: `V` accumulates the
+/// plane rotations that orthogonalize the columns of `A`, whose norms become
+/// the singular values.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_linalg::{Matrix, Svd};
+///
+/// # fn main() -> Result<(), gramc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]);
+/// let svd = Svd::new(&a)?;
+/// assert!((svd.singular_values[0] - 4.0).abs() < 1e-12);
+/// assert!((svd.singular_values[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × n`, orthonormal columns.
+    pub u: Matrix,
+    /// Singular values in descending order.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `n × n`, orthogonal.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a`.
+    ///
+    /// Wide matrices (`m < n`) are handled by transposing internally and
+    /// swapping `u`/`v` on output, so any shape is accepted.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidArgument`] if `a` is empty.
+    /// * [`LinalgError::NoConvergence`] if the Jacobi sweeps fail to
+    ///   orthogonalize the columns.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidArgument("empty matrix"));
+        }
+        if m < n {
+            let t = Self::new(&a.transpose())?;
+            return Ok(Self { u: t.v, singular_values: t.singular_values, v: t.u });
+        }
+
+        let mut u = a.clone(); // columns will be rotated into U·Σ
+        let mut v = Matrix::identity(n);
+        let scale = a.max_abs().max(1.0);
+        let tol = 1e-14 * scale * scale * (m as f64);
+        let max_sweeps = 60;
+        let mut converged = false;
+
+        for _sweep in 0..max_sweeps {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Gram entries of columns p, q.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        app += up * up;
+                        aqq += uq * uq;
+                        apq += up * uq;
+                    }
+                    if apq.abs() <= tol || apq.abs() <= 1e-15 * (app * aqq).sqrt() {
+                        continue;
+                    }
+                    rotated = true;
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        u[(i, p)] = c * up - s * uq;
+                        u[(i, q)] = s * up + c * uq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if !rotated {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(LinalgError::NoConvergence { iterations: max_sweeps, residual: f64::NAN });
+        }
+
+        // Column norms are the singular values; normalize U's columns.
+        let mut sv: Vec<(f64, usize)> = (0..n)
+            .map(|j| {
+                let s: f64 = (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt();
+                (s, j)
+            })
+            .collect();
+        sv.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN singular value"));
+
+        let mut u_sorted = Matrix::zeros(m, n);
+        let mut v_sorted = Matrix::zeros(n, n);
+        let mut singular_values = Vec::with_capacity(n);
+        for (out_j, &(s, j)) in sv.iter().enumerate() {
+            singular_values.push(s);
+            if s > 0.0 {
+                for i in 0..m {
+                    u_sorted[(i, out_j)] = u[(i, j)] / s;
+                }
+            }
+            for i in 0..n {
+                v_sorted[(i, out_j)] = v[(i, j)];
+            }
+        }
+        Ok(Self { u: u_sorted, singular_values, v: v_sorted })
+    }
+
+    /// Numerical rank at relative tolerance `rtol` (singular values below
+    /// `rtol · σ_max` count as zero).
+    pub fn rank(&self, rtol: f64) -> usize {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        self.singular_values.iter().filter(|&&s| s > rtol * smax).count()
+    }
+
+    /// Condition number `σ_max / σ_min` (∞ if rank-deficient).
+    pub fn cond_2(&self) -> f64 {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        let smin = self.singular_values.last().copied().unwrap_or(0.0);
+        if smin == 0.0 {
+            f64::INFINITY
+        } else {
+            smax / smin
+        }
+    }
+
+    /// Moore–Penrose pseudoinverse `A⁺ = V·Σ⁺·Uᵀ` with singular values below
+    /// `rtol · σ_max` truncated.
+    pub fn pseudoinverse(&self, rtol: f64) -> Matrix {
+        let (m, n) = (self.u.rows(), self.v.rows());
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        let mut pinv = Matrix::zeros(n, m);
+        for k in 0..self.singular_values.len() {
+            let s = self.singular_values[k];
+            if s <= rtol * smax || s == 0.0 {
+                continue;
+            }
+            let inv_s = 1.0 / s;
+            for i in 0..n {
+                let vik = self.v[(i, k)] * inv_s;
+                if vik == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    pinv[(i, j)] += vik * self.u[(j, k)];
+                }
+            }
+        }
+        pinv
+    }
+}
+
+/// Convenience: Moore–Penrose pseudoinverse with the default tolerance
+/// `1e-12`.
+///
+/// # Errors
+///
+/// See [`Svd::new`].
+pub fn pseudoinverse(a: &Matrix) -> Result<Matrix, LinalgError> {
+    Ok(Svd::new(a)?.pseudoinverse(1e-12))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_reconstruction(a: &Matrix, tol: f64) {
+        let svd = Svd::new(a).unwrap();
+        let sigma = Matrix::from_diag(&svd.singular_values);
+        let rec = svd.u.matmul(&sigma).matmul(&svd.v.transpose());
+        assert!(rec.approx_eq(a, tol), "SVD does not reconstruct A: {rec:?} vs {a:?}");
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.singular_values[0] - 4.0).abs() < 1e-12);
+        assert!((svd.singular_values[1] - 3.0).abs() < 1e-12);
+        check_reconstruction(&a, 1e-12);
+    }
+
+    #[test]
+    fn tall_and_wide_agree() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((2 * i + 3 * j) as f64).sin());
+        let tall = Svd::new(&a).unwrap();
+        let wide = Svd::new(&a.transpose()).unwrap();
+        for (s, t) in tall.singular_values.iter().zip(&wide.singular_values) {
+            assert!((s - t).abs() < 1e-10);
+        }
+        check_reconstruction(&a, 1e-10);
+        check_reconstruction(&a.transpose(), 1e-10);
+    }
+
+    #[test]
+    fn pinv_satisfies_moore_penrose_conditions() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i as f64) * 0.7 + (j as f64) * 1.3).cos() + if i == j { 1.5 } else { 0.0 });
+        let p = pseudoinverse(&a).unwrap();
+        let apa = a.matmul(&p).matmul(&a);
+        assert!(apa.approx_eq(&a, 1e-9), "A·A⁺·A != A");
+        let pap = p.matmul(&a).matmul(&p);
+        assert!(pap.approx_eq(&p, 1e-9), "A⁺·A·A⁺ != A⁺");
+        let ap = a.matmul(&p);
+        assert!(ap.approx_eq(&ap.transpose(), 1e-9), "A·A⁺ not symmetric");
+        let pa = p.matmul(&a);
+        assert!(pa.approx_eq(&pa.transpose(), 1e-9), "A⁺·A not symmetric");
+    }
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let p = pseudoinverse(&a).unwrap();
+        let inv = crate::lu::inverse(&a).unwrap();
+        assert!(p.approx_eq(&inv, 1e-10));
+    }
+
+    #[test]
+    fn rank_detection() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        assert!(svd.cond_2().is_infinite());
+    }
+
+    #[test]
+    fn least_squares_via_pinv_matches_qr() {
+        let a = Matrix::from_fn(8, 3, |i, j| ((i + j) as f64).sin() + if j == 0 { 1.0 } else { 0.0 });
+        let b: Vec<f64> = (0..8).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let x_pinv = pseudoinverse(&a).unwrap().matvec(&b);
+        let x_qr = crate::qr::least_squares(&a, &b).unwrap();
+        for (u, v) in x_pinv.iter().zip(&x_qr) {
+            assert!((u - v).abs() < 1e-9, "{x_pinv:?} vs {x_qr:?}");
+        }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Svd::new(&Matrix::zeros(0, 0)).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Free functions on `&[f64]` vectors: dot products, norms, AXPY and the
+//! small utilities the solvers and circuit code share.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute entry.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Sum of absolute entries.
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// `y ← y + alpha·x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Scales a slice into a new vector.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// Normalizes `a` to unit Euclidean norm, returning the normalized vector and
+/// the original norm. A zero vector is returned unchanged with norm 0.
+pub fn normalize(a: &[f64]) -> (Vec<f64>, f64) {
+    let n = norm2(a);
+    if n == 0.0 {
+        (a.to_vec(), 0.0)
+    } else {
+        (scale(a, 1.0 / n), n)
+    }
+}
+
+/// Relative error `‖a − b‖₂ / ‖b‖₂` of `a` against reference `b`.
+///
+/// Returns `‖a‖₂` if the reference is exactly zero.
+pub fn rel_error(a: &[f64], b: &[f64]) -> f64 {
+    let nb = norm2(b);
+    let diff = norm2(&sub(a, b));
+    if nb == 0.0 {
+        diff
+    } else {
+        diff / nb
+    }
+}
+
+/// Relative error of `a` against `b` with the sign of `a` chosen to best match
+/// `b` — eigenvectors and singular vectors are defined only up to sign.
+pub fn rel_error_up_to_sign(a: &[f64], b: &[f64]) -> f64 {
+    let direct = rel_error(a, b);
+    let flipped = rel_error(&scale(a, -1.0), b);
+    direct.min(flipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm1(&[-1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_handles_zero() {
+        let (v, n) = normalize(&[0.0, 0.0]);
+        assert_eq!(v, vec![0.0, 0.0]);
+        assert_eq!(n, 0.0);
+        let (v, n) = normalize(&[0.0, 2.0]);
+        assert_eq!(v, vec![0.0, 1.0]);
+        assert_eq!(n, 2.0);
+    }
+
+    #[test]
+    fn relative_errors() {
+        assert!(rel_error(&[1.0, 0.0], &[1.0, 0.0]) < 1e-15);
+        assert!((rel_error(&[1.1, 0.0], &[1.0, 0.0]) - 0.1).abs() < 1e-12);
+        // Sign-agnostic comparison: flipped vector is a perfect match.
+        assert!(rel_error_up_to_sign(&[-1.0, -2.0], &[1.0, 2.0]) < 1e-15);
+        // Zero reference falls back to absolute difference.
+        assert_eq!(rel_error(&[3.0, 4.0], &[0.0, 0.0]), 5.0);
+    }
+}

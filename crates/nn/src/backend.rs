@@ -1,0 +1,298 @@
+//! GRAMC execution backend for LeNet-5 (the paper's Fig. 5 pipeline).
+//!
+//! "The trained weights of each layer are loaded to the RRAM array by
+//! write-verify circuits. The convolutional computation results are
+//! transferred to the digital functional module to execute the pooling and
+//! activation operations."
+//!
+//! Execution is **layer-serial over the whole batch**: each layer's weight
+//! matrix is written into the macro group (INT4 differential or INT8
+//! bit-sliced planes), every image's activations stream through it via
+//! batched analog MVM, pooling/ReLU run in the digital functional module,
+//! and the macros are freed for the next layer. This is how a 16-macro
+//! system executes a network whose INT8 mapping would not fit resident.
+//! Biases are added digitally (the crossbar computes the pure product).
+
+use gramc_core::functional::argmax;
+use gramc_core::tiling::{TileMapping, TiledOperator};
+use gramc_core::{CoreError, MacroConfig, MacroGroup};
+use gramc_linalg::Matrix;
+
+use crate::layers::im2col;
+use crate::lenet::LeNet5;
+use crate::quant::Precision;
+use crate::tensor::Tensor3;
+
+/// LeNet-5 running on the analog macro group.
+#[derive(Debug)]
+pub struct GramcLenet {
+    group: MacroGroup,
+    model: LeNet5,
+    precision: Precision,
+}
+
+impl GramcLenet {
+    /// Wraps a trained model for analog execution at the given precision.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if `precision` is
+    /// [`Precision::Float32`] (use the software model directly for the
+    /// float baseline).
+    pub fn new(
+        model: LeNet5,
+        precision: Precision,
+        config: MacroConfig,
+        n_macros: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if precision == Precision::Float32 {
+            return Err(CoreError::InvalidArgument(
+                "float32 is the software baseline; run LeNet5::evaluate instead",
+            ));
+        }
+        Ok(Self { group: MacroGroup::new(n_macros, config, seed), model, precision })
+    }
+
+    fn mapping(&self) -> TileMapping {
+        match self.precision {
+            Precision::Int4 => TileMapping::FourBit,
+            Precision::Int8 => TileMapping::BitSlicedInt8,
+            Precision::Float32 => unreachable!("rejected in constructor"),
+        }
+    }
+
+    /// Runs one layer (as a weight matrix + bias) over a batch of input
+    /// vectors: load → batched analog MVM → digital bias add → free.
+    fn layer_batch(
+        &mut self,
+        weights: &Matrix,
+        bias: &[f64],
+        xs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
+        let mapping = self.mapping();
+        let mut tiled = TiledOperator::load(&mut self.group, weights, mapping)?;
+        let result = tiled.mvm_batch(&mut self.group, xs);
+        tiled.free(&mut self.group)?;
+        let mut ys = result?;
+        for y in ys.iter_mut() {
+            for (yi, b) in y.iter_mut().zip(bias) {
+                *yi += b;
+            }
+        }
+        Ok(ys)
+    }
+
+    /// Computes logits for a batch of images through the analog pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Capacity errors if the macro group cannot hold a layer; analog-path
+    /// errors propagate.
+    pub fn logits_batch(&mut self, images: &[Tensor3]) -> Result<Vec<Vec<f64>>, CoreError> {
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        // conv1 over all images (one im2col batch per image).
+        let w1 = self.model.conv1.weights.clone();
+        let b1 = self.model.conv1.bias.clone();
+        let mut pooled1: Vec<Tensor3> = Vec::with_capacity(images.len());
+        {
+            let mapping = self.mapping();
+            let mut tiled = TiledOperator::load(&mut self.group, &w1, mapping)?;
+            for img in images {
+                let cols = im2col(img, 5);
+                let xs: Vec<Vec<f64>> = (0..cols.cols()).map(|j| cols.col(j)).collect();
+                let ys = tiled.mvm_batch(&mut self.group, &xs)?;
+                // Assemble [6,24,24], add bias, ReLU + pool digitally.
+                let mut fmap = Tensor3::zeros(6, 24, 24);
+                for (pos, y) in ys.iter().enumerate() {
+                    for (oc, v) in y.iter().enumerate() {
+                        fmap.as_mut_slice()[oc * 576 + pos] = v + b1[oc];
+                    }
+                }
+                pooled1.push(relu_pool2(&fmap));
+            }
+            tiled.free(&mut self.group)?;
+        }
+        // conv2.
+        let w2 = self.model.conv2.weights.clone();
+        let b2 = self.model.conv2.bias.clone();
+        let mut pooled2: Vec<Vec<f64>> = Vec::with_capacity(images.len());
+        {
+            let mapping = self.mapping();
+            let mut tiled = TiledOperator::load(&mut self.group, &w2, mapping)?;
+            for p1 in &pooled1 {
+                let cols = im2col(p1, 5);
+                let xs: Vec<Vec<f64>> = (0..cols.cols()).map(|j| cols.col(j)).collect();
+                let ys = tiled.mvm_batch(&mut self.group, &xs)?;
+                let mut fmap = Tensor3::zeros(16, 8, 8);
+                for (pos, y) in ys.iter().enumerate() {
+                    for (oc, v) in y.iter().enumerate() {
+                        fmap.as_mut_slice()[oc * 64 + pos] = v + b2[oc];
+                    }
+                }
+                pooled2.push(relu_pool2(&fmap).into_vec());
+            }
+            tiled.free(&mut self.group)?;
+        }
+        // Fully-connected stack: whole batch per layer.
+        let a1 = self.layer_batch(
+            &self.model.fc1.weights.clone(),
+            &self.model.fc1.bias.clone(),
+            &pooled2,
+        )?;
+        let a1: Vec<Vec<f64>> = a1
+            .into_iter()
+            .map(|mut v| {
+                for x in v.iter_mut() {
+                    *x = x.max(0.0);
+                }
+                v
+            })
+            .collect();
+        let a2 = self.layer_batch(
+            &self.model.fc2.weights.clone(),
+            &self.model.fc2.bias.clone(),
+            &a1,
+        )?;
+        let a2: Vec<Vec<f64>> = a2
+            .into_iter()
+            .map(|mut v| {
+                for x in v.iter_mut() {
+                    *x = x.max(0.0);
+                }
+                v
+            })
+            .collect();
+        self.layer_batch(&self.model.fc3.weights.clone(), &self.model.fc3.bias.clone(), &a2)
+    }
+
+    /// Predicted classes for a batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`logits_batch`](Self::logits_batch).
+    pub fn predict_batch(&mut self, images: &[Tensor3]) -> Result<Vec<usize>, CoreError> {
+        Ok(self.logits_batch(images)?.iter().map(|l| argmax(l)).collect())
+    }
+
+    /// Classification accuracy of the analog pipeline on a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// See [`logits_batch`](Self::logits_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len() != labels.len()`.
+    pub fn evaluate(&mut self, images: &[Tensor3], labels: &[usize]) -> Result<f64, CoreError> {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        if images.is_empty() {
+            return Ok(0.0);
+        }
+        let preds = self.predict_batch(images)?;
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f64 / images.len() as f64)
+    }
+}
+
+/// ReLU + 2×2 max pool in the digital functional module.
+fn relu_pool2(t: &Tensor3) -> Tensor3 {
+    let (c, h, w) = t.shape();
+    let mut out = Tensor3::zeros(c, h / 2, w / 2);
+    for ci in 0..c {
+        let pooled = gramc_core::functional::pool2d(
+            t.channel(ci),
+            h,
+            w,
+            2,
+            gramc_core::functional::Pooling::Max,
+        );
+        for (v, o) in pooled.iter().zip(out.channel_mut(ci).iter_mut()) {
+            *o = v.max(0.0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gramc_core::NonidealityConfig;
+    use gramc_linalg::random::seeded_rng;
+
+    fn tiny_images(n: usize, seed: u64) -> (Vec<Tensor3>, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let cy = if label == 0 { 9.0 } else { 19.0 };
+            let mut t = Tensor3::zeros(1, 28, 28);
+            for y in 0..28 {
+                for x in 0..28 {
+                    let dy = y as f64 - cy;
+                    let dx = x as f64 - 14.0;
+                    let v = (-(dy * dy + dx * dx) / 16.0).exp()
+                        + 0.02 * gramc_linalg::random::standard_normal(&mut rng);
+                    t.set(0, y, x, v.clamp(0.0, 1.0));
+                }
+            }
+            images.push(t);
+            labels.push(label);
+        }
+        (images, labels)
+    }
+
+    fn trained_model() -> (LeNet5, Vec<Tensor3>, Vec<usize>) {
+        let mut rng = seeded_rng(120);
+        let mut net = LeNet5::new(&mut rng);
+        let (images, labels) = tiny_images(16, 121);
+        for _ in 0..12 {
+            net.train_epoch(&images, &labels, 0.02, 0.9);
+        }
+        (net, images, labels)
+    }
+
+    #[test]
+    fn analog_backend_matches_software_on_easy_task() {
+        let (mut net, images, labels) = trained_model();
+        let sw = net.evaluate(&images, &labels);
+        assert_eq!(sw, 1.0, "software model must master the toy task");
+        let mut backend = GramcLenet::new(
+            net,
+            Precision::Int4,
+            MacroConfig {
+                nonideal: NonidealityConfig::paper_default(),
+                ..MacroConfig::default()
+            },
+            16,
+            122,
+        )
+        .unwrap();
+        let hw = backend.evaluate(&images, &labels).unwrap();
+        assert!(hw >= 0.9, "analog accuracy {hw}");
+    }
+
+    #[test]
+    fn int8_backend_runs_and_is_accurate() {
+        let (net, images, labels) = trained_model();
+        let mut backend = GramcLenet::new(
+            net,
+            Precision::Int8,
+            MacroConfig::default(),
+            16,
+            123,
+        )
+        .unwrap();
+        let hw = backend.evaluate(&images[..8], &labels[..8]).unwrap();
+        assert!(hw >= 0.9, "INT8 analog accuracy {hw}");
+    }
+
+    #[test]
+    fn float32_backend_is_rejected() {
+        let (net, _, _) = trained_model();
+        assert!(GramcLenet::new(net, Precision::Float32, MacroConfig::default(), 16, 0).is_err());
+    }
+}

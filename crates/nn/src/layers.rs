@@ -1,0 +1,510 @@
+//! Layers with forward and backward passes: convolution (via im2col), max
+//! pooling, dense, and ReLU. Enough to train LeNet-5 from scratch in f64.
+
+use gramc_linalg::Matrix;
+use rand::Rng;
+
+use crate::tensor::Tensor3;
+
+/// He-style weight initialization.
+fn he_init<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, fan_in: usize) -> Matrix {
+    let std = (2.0 / fan_in as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| std * gramc_linalg::random::standard_normal(rng))
+}
+
+/// Lowers a `(c, h, w)` input into the im2col matrix of a `k×k` valid
+/// convolution: shape `(c·k·k) × (oh·ow)`, column = one output position.
+pub fn im2col(input: &Tensor3, k: usize) -> Matrix {
+    let (c, h, w) = input.shape();
+    assert!(h >= k && w >= k, "kernel larger than input");
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    let mut cols = Matrix::zeros(c * k * k, oh * ow);
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        cols[(row, oy * ow + ox)] = input.get(ci, oy + ky, ox + kx);
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Adjoint of [`im2col`]: scatters a `(c·k·k) × (oh·ow)` gradient back onto
+/// the `(c, h, w)` input.
+pub fn col2im(grad_cols: &Matrix, c: usize, h: usize, w: usize, k: usize) -> Tensor3 {
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    assert_eq!(grad_cols.shape(), (c * k * k, oh * ow), "col2im shape mismatch");
+    let mut out = Tensor3::zeros(c, h, w);
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let v = out.get(ci, oy + ky, ox + kx) + grad_cols[(row, oy * ow + ox)];
+                        out.set(ci, oy + ky, ox + kx, v);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A `k×k` valid convolution layer.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Weight matrix, `out_channels × (in_channels·k·k)`.
+    pub weights: Matrix,
+    /// Per-output-channel bias.
+    pub bias: Vec<f64>,
+    in_channels: usize,
+    out_channels: usize,
+    k: usize,
+    // Training state.
+    vel_w: Matrix,
+    vel_b: Vec<f64>,
+    cache_cols: Option<Matrix>,
+    cache_in_shape: (usize, usize, usize),
+    pending_dw: Option<Matrix>,
+    pending_db: Option<Vec<f64>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialized weights.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_channels: usize, out_channels: usize, k: usize) -> Self {
+        let fan_in = in_channels * k * k;
+        Self {
+            weights: he_init(rng, out_channels, fan_in, fan_in),
+            bias: vec![0.0; out_channels],
+            in_channels,
+            out_channels,
+            k,
+            vel_w: Matrix::zeros(out_channels, fan_in),
+            vel_b: vec![0.0; out_channels],
+            cache_cols: None,
+            cache_in_shape: (0, 0, 0),
+            pending_dw: None,
+            pending_db: None,
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// `(in_channels, out_channels)`.
+    pub fn channels(&self) -> (usize, usize) {
+        (self.in_channels, self.out_channels)
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
+        (self.out_channels, input.1 - self.k + 1, input.2 - self.k + 1)
+    }
+
+    /// Forward pass, caching what the backward pass needs.
+    pub fn forward(&mut self, input: &Tensor3) -> Tensor3 {
+        let (c, h, w) = input.shape();
+        assert_eq!(c, self.in_channels, "channel mismatch");
+        let cols = im2col(input, self.k);
+        let out = self.weights.matmul(&cols);
+        let (oh, ow) = (h - self.k + 1, w - self.k + 1);
+        let mut t = Tensor3::zeros(self.out_channels, oh, ow);
+        for oc in 0..self.out_channels {
+            let b = self.bias[oc];
+            let ch = t.channel_mut(oc);
+            ch.copy_from_slice(out.row(oc));
+            for v in ch.iter_mut() {
+                *v += b;
+            }
+        }
+        self.cache_cols = Some(cols);
+        self.cache_in_shape = (c, h, w);
+        t
+    }
+
+    /// Backward pass: accumulates parameter gradients internally (applied by
+    /// [`sgd_step`](Self::sgd_step)) and returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor3) -> Tensor3 {
+        let cols = self.cache_cols.take().expect("backward before forward");
+        let (c, h, w) = self.cache_in_shape;
+        let (oc, oh, ow) = grad_out.shape();
+        assert_eq!(oc, self.out_channels);
+        let g = Matrix::from_fn(oc, oh * ow, |i, j| grad_out.channel(i)[j]);
+        // dW = g · colsᵀ ; db = row sums of g.
+        let dw = g.matmul(&cols.transpose());
+        let db: Vec<f64> = (0..oc).map(|i| g.row(i).iter().sum()).collect();
+        // Momentum buffers accumulate the (negative) update direction.
+        self.pending(dw, db);
+        // dInput = Wᵀ · g, scattered back.
+        let dcols = self.weights.transpose().matmul(&g);
+        col2im(&dcols, c, h, w, self.k)
+    }
+
+    fn pending(&mut self, dw: Matrix, db: Vec<f64>) {
+        self.pending_dw = Some(dw);
+        self.pending_db = Some(db);
+    }
+
+    /// Applies one SGD-with-momentum step using the last backward's
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `backward`.
+    pub fn sgd_step(&mut self, lr: f64, momentum: f64) {
+        let dw = self.pending_dw.take().expect("sgd_step before backward");
+        let db = self.pending_db.take().expect("sgd_step before backward");
+        for i in 0..self.vel_w.rows() {
+            for j in 0..self.vel_w.cols() {
+                let v = momentum * self.vel_w[(i, j)] - lr * dw[(i, j)];
+                self.vel_w[(i, j)] = v;
+                self.weights[(i, j)] += v;
+            }
+        }
+        for (k, (vb, g)) in self.vel_b.iter_mut().zip(&db).enumerate() {
+            *vb = momentum * *vb - lr * g;
+            self.bias[k] += *vb;
+        }
+    }
+}
+
+
+/// Max pooling with a square window and stride equal to the window.
+#[derive(Debug, Clone)]
+pub struct MaxPool {
+    window: usize,
+    cache_argmax: Vec<usize>,
+    cache_in_shape: (usize, usize, usize),
+}
+
+impl MaxPool {
+    /// Creates a pooling layer.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0);
+        Self { window, cache_argmax: Vec::new(), cache_in_shape: (0, 0, 0) }
+    }
+
+    /// Forward pass (caches argmax indices for backward).
+    pub fn forward(&mut self, input: &Tensor3) -> Tensor3 {
+        let (c, h, w) = input.shape();
+        let k = self.window;
+        assert!(h % k == 0 && w % k == 0, "input not divisible by window");
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor3::zeros(c, oh, ow);
+        self.cache_argmax = vec![0; c * oh * ow];
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let (y, x) = (oy * k + dy, ox * k + dx);
+                            let v = input.get(ci, y, x);
+                            if v > best {
+                                best = v;
+                                best_idx = y * w + x;
+                            }
+                        }
+                    }
+                    out.set(ci, oy, ox, best);
+                    self.cache_argmax[(ci * oh + oy) * ow + ox] = best_idx;
+                }
+            }
+        }
+        self.cache_in_shape = (c, h, w);
+        out
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    pub fn backward(&self, grad_out: &Tensor3) -> Tensor3 {
+        let (c, h, w) = self.cache_in_shape;
+        let (oc, oh, ow) = grad_out.shape();
+        assert_eq!(c, oc);
+        let mut out = Tensor3::zeros(c, h, w);
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let idx = self.cache_argmax[(ci * oh + oy) * ow + ox];
+                    let (y, x) = (idx / w, idx % w);
+                    let v = out.get(ci, y, x) + grad_out.get(ci, oy, ox);
+                    out.set(ci, y, x, v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A fully-connected layer.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix, `out × in`.
+    pub weights: Matrix,
+    /// Bias, length `out`.
+    pub bias: Vec<f64>,
+    vel_w: Matrix,
+    vel_b: Vec<f64>,
+    cache_in: Option<Vec<f64>>,
+    pending_dw: Option<Matrix>,
+    pending_db: Option<Vec<f64>>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialized weights.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, input: usize, output: usize) -> Self {
+        Self {
+            weights: he_init(rng, output, input, input),
+            bias: vec![0.0; output],
+            vel_w: Matrix::zeros(output, input),
+            vel_b: vec![0.0; output],
+            cache_in: None,
+            pending_dw: None,
+            pending_db: None,
+        }
+    }
+
+    /// `(input, output)` sizes.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.weights.cols(), self.weights.rows())
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.weights.matvec(x);
+        for (yi, b) in y.iter_mut().zip(&self.bias) {
+            *yi += b;
+        }
+        self.cache_in = Some(x.to_vec());
+        y
+    }
+
+    /// Backward pass; returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &[f64]) -> Vec<f64> {
+        let x = self.cache_in.take().expect("backward before forward");
+        let mut dw = Matrix::zeros(self.weights.rows(), self.weights.cols());
+        for i in 0..self.weights.rows() {
+            let g = grad_out[i];
+            if g != 0.0 {
+                for (j, xj) in x.iter().enumerate() {
+                    dw[(i, j)] = g * xj;
+                }
+            }
+        }
+        self.pending_dw = Some(dw);
+        self.pending_db = Some(grad_out.to_vec());
+        self.weights.tr_matvec(grad_out)
+    }
+
+    /// Applies one SGD-with-momentum step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `backward`.
+    pub fn sgd_step(&mut self, lr: f64, momentum: f64) {
+        let dw = self.pending_dw.take().expect("sgd_step before backward");
+        let db = self.pending_db.take().expect("sgd_step before backward");
+        for i in 0..self.vel_w.rows() {
+            for j in 0..self.vel_w.cols() {
+                let v = momentum * self.vel_w[(i, j)] - lr * dw[(i, j)];
+                self.vel_w[(i, j)] = v;
+                self.weights[(i, j)] += v;
+            }
+        }
+        for (k, (vb, g)) in self.vel_b.iter_mut().zip(&db).enumerate() {
+            *vb = momentum * *vb - lr * g;
+            self.bias[k] += *vb;
+        }
+    }
+}
+
+/// ReLU over a tensor, returning output and a backward mask closure input.
+pub fn relu_forward(t: &Tensor3) -> (Tensor3, Vec<bool>) {
+    let mask: Vec<bool> = t.as_slice().iter().map(|&v| v > 0.0).collect();
+    let mut out = t.clone();
+    for v in out.as_mut_slice().iter_mut() {
+        *v = v.max(0.0);
+    }
+    (out, mask)
+}
+
+/// ReLU backward given the forward mask.
+pub fn relu_backward(grad: &Tensor3, mask: &[bool]) -> Tensor3 {
+    let mut out = grad.clone();
+    for (v, &m) in out.as_mut_slice().iter_mut().zip(mask) {
+        if !m {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+/// ReLU over a vector.
+pub fn relu_vec_forward(x: &[f64]) -> (Vec<f64>, Vec<bool>) {
+    let mask = x.iter().map(|&v| v > 0.0).collect();
+    (x.iter().map(|&v| v.max(0.0)).collect(), mask)
+}
+
+/// Vector ReLU backward.
+pub fn relu_vec_backward(grad: &[f64], mask: &[bool]) -> Vec<f64> {
+    grad.iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gramc_linalg::random::seeded_rng;
+
+    #[test]
+    fn im2col_shapes_and_values() {
+        let mut t = Tensor3::zeros(1, 3, 3);
+        for y in 0..3 {
+            for x in 0..3 {
+                t.set(0, y, x, (y * 3 + x) as f64);
+            }
+        }
+        let cols = im2col(&t, 2);
+        assert_eq!(cols.shape(), (4, 4));
+        // First column = top-left 2x2 patch [0,1,3,4].
+        assert_eq!(cols.col(0), vec![0.0, 1.0, 3.0, 4.0]);
+        // Last column = bottom-right patch [4,5,7,8].
+        assert_eq!(cols.col(3), vec![4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let mut rng = seeded_rng(90);
+        let x = Tensor3::from_vec(
+            2,
+            4,
+            4,
+            (0..32).map(|_| gramc_linalg::random::standard_normal(&mut rng)).collect(),
+        );
+        let y = Matrix::from_fn(2 * 9, 4, |_, _| gramc_linalg::random::standard_normal(&mut rng));
+        let ax = im2col(&x, 3);
+        let aty = col2im(&y, 2, 4, 4, 3);
+        let lhs: f64 = ax.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f64 =
+            x.as_slice().iter().zip(aty.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_forward_known_kernel() {
+        let mut rng = seeded_rng(91);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 2);
+        // Kernel = all ones, bias = 1: output = patch sums + 1.
+        conv.weights = Matrix::filled(1, 4, 1.0);
+        conv.bias = vec![1.0];
+        let mut input = Tensor3::zeros(1, 2, 2);
+        input.set(0, 0, 0, 1.0);
+        input.set(0, 1, 1, 2.0);
+        let out = conv.forward(&input);
+        assert_eq!(out.shape(), (1, 1, 1));
+        assert_eq!(out.get(0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        // Finite-difference check on a small conv.
+        let mut rng = seeded_rng(92);
+        let mut conv = Conv2d::new(&mut rng, 1, 2, 2);
+        let input = Tensor3::from_vec(
+            1,
+            3,
+            3,
+            (0..9).map(|_| gramc_linalg::random::standard_normal(&mut rng)).collect(),
+        );
+        // Loss = sum of outputs.
+        let out = conv.forward(&input);
+        let ones = Tensor3::from_vec(2, 2, 2, vec![1.0; 8]);
+        let dinput = conv.backward(&ones);
+        let _ = out;
+        let eps = 1e-6;
+        for idx in [0usize, 4, 8] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let f_plus: f64 = conv.forward(&plus).as_slice().iter().sum();
+            let f_minus: f64 = conv.forward(&minus).as_slice().iter().sum();
+            let fd = (f_plus - f_minus) / (2.0 * eps);
+            let an = dinput.as_slice()[idx];
+            assert!((fd - an).abs() < 1e-5, "idx {idx}: fd {fd} vs analytic {an}");
+        }
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut rng = seeded_rng(93);
+        let mut dense = Dense::new(&mut rng, 5, 3);
+        let x: Vec<f64> = (0..5).map(|_| gramc_linalg::random::standard_normal(&mut rng)).collect();
+        let _ = dense.forward(&x);
+        let dx = dense.backward(&[1.0, 1.0, 1.0]);
+        let eps = 1e-6;
+        for idx in 0..5 {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            let fp: f64 = dense.forward(&xp).iter().sum();
+            let fm: f64 = dense.forward(&xm).iter().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - dx[idx]).abs() < 1e-6, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_simple_loss() {
+        // One dense layer learning y = 2x: loss must drop.
+        let mut rng = seeded_rng(94);
+        let mut dense = Dense::new(&mut rng, 1, 1);
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..50 {
+            let y = dense.forward(&[1.0]);
+            let err = y[0] - 2.0;
+            let loss = err * err;
+            dense.backward(&[2.0 * err]);
+            dense.sgd_step(0.1, 0.0);
+            assert!(loss <= last_loss + 1e-9);
+            last_loss = loss;
+        }
+        assert!(last_loss < 1e-3);
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let mut pool = MaxPool::new(2);
+        let input = Tensor3::from_vec(1, 2, 2, vec![1.0, 5.0, 3.0, 2.0]);
+        let out = pool.forward(&input);
+        assert_eq!(out.get(0, 0, 0), 5.0);
+        let grad = pool.backward(&Tensor3::from_vec(1, 1, 1, vec![1.0]));
+        assert_eq!(grad.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_masks() {
+        let t = Tensor3::from_vec(1, 1, 3, vec![-1.0, 0.0, 2.0]);
+        let (out, mask) = relu_forward(&t);
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 2.0]);
+        let g = relu_backward(&Tensor3::from_vec(1, 1, 3, vec![1.0, 1.0, 1.0]), &mask);
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! LeNet-5 exactly as the paper maps it (Fig. 5):
+//!
+//! ```text
+//! input [1,28,28] → conv1 (6@5×5) → [6,24,24] → ReLU → pool2 → [6,12,12]
+//!                 → conv2 (16@5×5) → [16,8,8]  → ReLU → pool2 → [16,4,4]
+//!                 → flatten 256 → FC 120 → ReLU → FC 84 → ReLU → FC 10
+//! ```
+
+use gramc_core::functional::{argmax, softmax};
+use rand::Rng;
+
+use crate::layers::{
+    relu_backward, relu_forward, relu_vec_backward, relu_vec_forward, Conv2d, Dense, MaxPool,
+};
+use crate::tensor::Tensor3;
+
+/// The LeNet-5 network of the paper's Fig. 5.
+#[derive(Debug, Clone)]
+pub struct LeNet5 {
+    /// First convolution, 1→6 channels, 5×5.
+    pub conv1: Conv2d,
+    /// Second convolution, 6→16 channels, 5×5.
+    pub conv2: Conv2d,
+    /// 256 → 120.
+    pub fc1: Dense,
+    /// 120 → 84.
+    pub fc2: Dense,
+    /// 84 → 10 (logits).
+    pub fc3: Dense,
+    pool1: MaxPool,
+    pool2: MaxPool,
+}
+
+/// Loss/accuracy summary of one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean cross-entropy loss.
+    pub loss: f64,
+    /// Training accuracy.
+    pub accuracy: f64,
+}
+
+impl LeNet5 {
+    /// Creates a LeNet-5 with He-initialized weights.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            conv1: Conv2d::new(rng, 1, 6, 5),
+            conv2: Conv2d::new(rng, 6, 16, 5),
+            fc1: Dense::new(rng, 256, 120),
+            fc2: Dense::new(rng, 120, 84),
+            fc3: Dense::new(rng, 84, 10),
+            pool1: MaxPool::new(2),
+            pool2: MaxPool::new(2),
+        }
+    }
+
+    /// Forward pass returning the 10 logits (mutates layer caches).
+    pub fn forward(&mut self, image: &Tensor3) -> Vec<f64> {
+        let (logits, _) = self.forward_cached(image);
+        logits
+    }
+
+    /// Forward pass keeping the ReLU masks for backward.
+    #[allow(clippy::type_complexity)]
+    fn forward_cached(&mut self, image: &Tensor3) -> (Vec<f64>, (Vec<bool>, Vec<bool>, Vec<bool>, Vec<bool>)) {
+        let c1 = self.conv1.forward(image);
+        let (r1, m1) = relu_forward(&c1);
+        let p1 = self.pool1.forward(&r1);
+        let c2 = self.conv2.forward(&p1);
+        let (r2, m2) = relu_forward(&c2);
+        let p2 = self.pool2.forward(&r2);
+        let flat = p2.into_vec();
+        let f1 = self.fc1.forward(&flat);
+        let (a1, m3) = relu_vec_forward(&f1);
+        let f2 = self.fc2.forward(&a1);
+        let (a2, m4) = relu_vec_forward(&f2);
+        let logits = self.fc3.forward(&a2);
+        (logits, (m1, m2, m3, m4))
+    }
+
+    /// Predicted class for an image.
+    pub fn predict(&mut self, image: &Tensor3) -> usize {
+        argmax(&self.forward(image))
+    }
+
+    /// One SGD training step on a single example. Returns the cross-entropy
+    /// loss before the update.
+    pub fn train_step(&mut self, image: &Tensor3, label: usize, lr: f64, momentum: f64) -> f64 {
+        let (logits, (m1, m2, m3, m4)) = self.forward_cached(image);
+        let probs = softmax(&logits);
+        let loss = -(probs[label].max(1e-12)).ln();
+        // dL/dlogits = probs - onehot.
+        let mut grad: Vec<f64> = probs;
+        grad[label] -= 1.0;
+
+        let g2 = self.fc3.backward(&grad);
+        let g2 = relu_vec_backward(&g2, &m4);
+        let g1 = self.fc2.backward(&g2);
+        let g1 = relu_vec_backward(&g1, &m3);
+        let g0 = self.fc1.backward(&g1);
+        let g_pool2 = Tensor3::from_vec(16, 4, 4, g0);
+        let g_r2 = self.pool2.backward(&g_pool2);
+        let g_c2 = relu_backward(&g_r2, &m2);
+        let g_p1 = self.conv2.backward(&g_c2);
+        let g_r1 = self.pool1.backward(&g_p1);
+        let g_c1 = relu_backward(&g_r1, &m1);
+        let _ = self.conv1.backward(&g_c1);
+
+        self.fc3.sgd_step(lr, momentum);
+        self.fc2.sgd_step(lr, momentum);
+        self.fc1.sgd_step(lr, momentum);
+        self.conv2.sgd_step(lr, momentum);
+        self.conv1.sgd_step(lr, momentum);
+        loss
+    }
+
+    /// One epoch of per-sample SGD over the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len() != labels.len()`.
+    pub fn train_epoch(
+        &mut self,
+        images: &[Tensor3],
+        labels: &[usize],
+        lr: f64,
+        momentum: f64,
+    ) -> EpochStats {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        let mut loss_sum = 0.0;
+        let mut correct = 0usize;
+        for (img, &lab) in images.iter().zip(labels) {
+            let loss = self.train_step(img, lab, lr, momentum);
+            loss_sum += loss;
+            // Cheap running accuracy from the pre-update prediction is not
+            // cached; re-use loss sign instead of an extra forward: count
+            // via a fresh prediction only every few samples would bias the
+            // stats, so simply run the forward again.
+            if self.predict(img) == lab {
+                correct += 1;
+            }
+        }
+        EpochStats {
+            loss: loss_sum / images.len().max(1) as f64,
+            accuracy: correct as f64 / images.len().max(1) as f64,
+        }
+    }
+
+    /// Classification accuracy on a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len() != labels.len()`.
+    pub fn evaluate(&mut self, images: &[Tensor3], labels: &[usize]) -> f64 {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        if images.is_empty() {
+            return 0.0;
+        }
+        let correct = images
+            .iter()
+            .zip(labels)
+            .filter(|(img, &lab)| self.predict(img) == lab)
+            .count();
+        correct as f64 / images.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gramc_linalg::random::seeded_rng;
+
+    fn blob_image(center: (usize, usize)) -> Tensor3 {
+        // A soft blob at the given center: linearly separable toy classes.
+        let mut t = Tensor3::zeros(1, 28, 28);
+        for y in 0..28 {
+            for x in 0..28 {
+                let dy = y as f64 - center.0 as f64;
+                let dx = x as f64 - center.1 as f64;
+                t.set(0, y, x, (-(dy * dy + dx * dx) / 18.0).exp());
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = seeded_rng(100);
+        let mut net = LeNet5::new(&mut rng);
+        let logits = net.forward(&Tensor3::zeros(1, 28, 28));
+        assert_eq!(logits.len(), 10);
+    }
+
+    #[test]
+    fn loss_decreases_on_tiny_task() {
+        let mut rng = seeded_rng(101);
+        let mut net = LeNet5::new(&mut rng);
+        let images = [blob_image((8, 8)), blob_image((20, 20))];
+        let labels = [0usize, 1];
+        let first = net.train_epoch(&images, &labels, 0.02, 0.9);
+        let mut last = first;
+        for _ in 0..30 {
+            last = net.train_epoch(&images, &labels, 0.02, 0.9);
+        }
+        assert!(last.loss < first.loss, "loss {first:?} -> {last:?}");
+        assert_eq!(net.evaluate(&images, &labels), 1.0);
+    }
+
+    #[test]
+    fn predict_is_deterministic() {
+        let mut rng = seeded_rng(102);
+        let mut net = LeNet5::new(&mut rng);
+        let img = blob_image((14, 14));
+        assert_eq!(net.predict(&img), net.predict(&img));
+    }
+}

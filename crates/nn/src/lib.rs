@@ -1,0 +1,26 @@
+//! # gramc-nn
+//!
+//! Neural-network stack for the paper's Fig. 5 experiment: LeNet-5 trained
+//! from scratch in f64, post-training quantization (INT4 / bit-sliced INT8 /
+//! float32), and the analog execution backend that streams inference through
+//! the GRAMC macro group with pooling/activation in the digital functional
+//! module.
+//!
+//! * [`Tensor3`] / [`layers`] — feature maps and conv/pool/dense layers
+//!   with full backward passes,
+//! * [`LeNet5`] — the exact Fig. 5 architecture with SGD training,
+//! * [`Precision`] / [`quant`] — the three weight precisions of Fig. 5,
+//! * [`GramcLenet`] — layer-serial batched analog inference.
+
+#![warn(missing_docs)]
+
+mod backend;
+pub mod layers;
+mod lenet;
+pub mod quant;
+mod tensor;
+
+pub use backend::GramcLenet;
+pub use lenet::{EpochStats, LeNet5};
+pub use quant::Precision;
+pub use tensor::Tensor3;

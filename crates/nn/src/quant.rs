@@ -1,0 +1,109 @@
+//! Post-training weight quantization — the digital reference for what the
+//! analog mapping does physically.
+//!
+//! The Fig. 5 experiment compares three weight precisions: INT4 (one 4-bit
+//! differential pair per weight), INT8 (two bit-sliced nibble planes) and
+//! float32. [`quantize_matrix`] reproduces the *mapping's* symmetric
+//! per-tensor quantization exactly, so software-quantized accuracy can be
+//! separated from the other analog error sources.
+
+use gramc_linalg::Matrix;
+
+/// Weight precision of a GRAMC-mapped network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// 4-bit differential conductance pairs (paper: 97.6 % on MNIST).
+    Int4,
+    /// 8-bit via two bit-sliced 4-bit planes (paper: 98.5 %).
+    Int8,
+    /// Software float32 baseline (paper: 98.87 %).
+    Float32,
+}
+
+impl Precision {
+    /// Integer levels available for the magnitude, or `None` for float.
+    pub fn magnitude_levels(&self) -> Option<u32> {
+        match self {
+            Precision::Int4 => Some(15),
+            Precision::Int8 => Some(255),
+            Precision::Float32 => None,
+        }
+    }
+}
+
+/// Symmetric per-tensor quantization to `levels` magnitude steps:
+/// `w ≈ round(w/Δ)·Δ` with `Δ = max|w|/levels` — exactly the grid the
+/// differential conductance mapping realizes.
+pub fn quantize_matrix(w: &Matrix, levels: u32) -> Matrix {
+    let w_max = w.max_abs();
+    if w_max == 0.0 {
+        return w.clone();
+    }
+    let delta = w_max / levels as f64;
+    w.map(|v| (v / delta).round().clamp(-(levels as f64), levels as f64) * delta)
+}
+
+/// Quantizes a matrix at the given precision (identity for float32).
+pub fn quantize_at(w: &Matrix, precision: Precision) -> Matrix {
+    match precision.magnitude_levels() {
+        Some(levels) => quantize_matrix(w, levels),
+        None => w.clone(),
+    }
+}
+
+/// Worst-case quantization error bound `Δ/2` for a matrix at a precision.
+pub fn quantization_error_bound(w: &Matrix, precision: Precision) -> f64 {
+    match precision.magnitude_levels() {
+        Some(levels) => w.max_abs() / levels as f64 / 2.0,
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gramc_linalg::random::{gaussian_matrix, seeded_rng};
+
+    #[test]
+    fn quantization_error_within_bound() {
+        let mut rng = seeded_rng(110);
+        let w = gaussian_matrix(&mut rng, 12, 12);
+        for p in [Precision::Int4, Precision::Int8] {
+            let q = quantize_at(&w, p);
+            let bound = quantization_error_bound(&w, p);
+            assert!((&q - &w).max_abs() <= bound + 1e-12, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn int8_is_finer_than_int4() {
+        let mut rng = seeded_rng(111);
+        let w = gaussian_matrix(&mut rng, 10, 10);
+        let e4 = (&quantize_at(&w, Precision::Int4) - &w).fro_norm();
+        let e8 = (&quantize_at(&w, Precision::Int8) - &w).fro_norm();
+        assert!(e8 < e4 / 4.0, "e8 {e8} vs e4 {e4}");
+    }
+
+    #[test]
+    fn float32_is_identity() {
+        let mut rng = seeded_rng(112);
+        let w = gaussian_matrix(&mut rng, 5, 5);
+        assert_eq!(quantize_at(&w, Precision::Float32), w);
+        assert_eq!(quantization_error_bound(&w, Precision::Float32), 0.0);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let mut rng = seeded_rng(113);
+        let w = gaussian_matrix(&mut rng, 6, 6);
+        let q = quantize_matrix(&w, 15);
+        let qq = quantize_matrix(&q, 15);
+        assert!((&qq - &q).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix_passes_through() {
+        let z = Matrix::zeros(3, 3);
+        assert_eq!(quantize_matrix(&z, 15), z);
+    }
+}

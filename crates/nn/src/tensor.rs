@@ -1,0 +1,116 @@
+//! Minimal channel-major 3-D tensor for feature maps.
+
+/// A `channels × height × width` feature map, stored channel-major
+/// row-major (`data[c·h·w + y·w + x]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor3 {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Self { channels, height, width, data: vec![0.0; channels * height * width] }
+    }
+
+    /// Wraps a flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length disagrees with the shape.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), channels * height * width, "tensor buffer length mismatch");
+        Self { channels, height, width, data }
+    }
+
+    /// Shape as `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Map height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Map width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Value at `(c, y, x)`.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f64 {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Sets the value at `(c, y, x)`.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f64) {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        self.data[(c * self.height + y) * self.width + x] = v;
+    }
+
+    /// Borrows one channel as a flat `h·w` slice.
+    pub fn channel(&self, c: usize) -> &[f64] {
+        let hw = self.height * self.width;
+        &self.data[c * hw..(c + 1) * hw]
+    }
+
+    /// Mutably borrows one channel.
+    pub fn channel_mut(&mut self, c: usize) -> &mut [f64] {
+        let hw = self.height * self.width;
+        &mut self.data[c * hw..(c + 1) * hw]
+    }
+
+    /// The flat buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes into the flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_channel_major() {
+        let mut t = Tensor3::zeros(2, 3, 4);
+        t.set(1, 2, 3, 7.0);
+        assert_eq!(t.get(1, 2, 3), 7.0);
+        assert_eq!(t.as_slice()[(1 * 3 + 2) * 4 + 3], 7.0);
+        assert_eq!(t.channel(1)[2 * 4 + 3], 7.0);
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let t = Tensor3::zeros(6, 12, 12);
+        assert_eq!(t.shape(), (6, 12, 12));
+        assert_eq!(t.as_slice().len(), 864);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_checks_length() {
+        let _ = Tensor3::from_vec(1, 2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 5 end to end, small scale: train LeNet-5 on synthetic digits, then
+//! run inference through the analog GRAMC pipeline at INT4 and INT8 and
+//! compare with the float32 software baseline.
+//!
+//! (The full-size experiment with paper-scale sample counts is the
+//! `fig5_lenet` bench binary; this example keeps runtimes interactive.)
+//!
+//! ```sh
+//! cargo run --release --example lenet_inference
+//! ```
+
+use gramc::core::{MacroConfig, MacroGroup};
+use gramc::data::DigitsDataset;
+use gramc::linalg::random::seeded_rng;
+use gramc::nn::{GramcLenet, LeNet5, Precision, Tensor3};
+
+fn to_tensor(pixels: &[f64]) -> Tensor3 {
+    Tensor3::from_vec(1, 28, 28, pixels.to_vec())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded_rng(5);
+    let ds = DigitsDataset::generate(&mut rng, 1200, 300);
+    let train: Vec<Tensor3> = ds.train.iter().map(|d| to_tensor(&d.pixels)).collect();
+    let train_labels: Vec<usize> = ds.train.iter().map(|d| d.label).collect();
+    let test: Vec<Tensor3> = ds.test.iter().map(|d| to_tensor(&d.pixels)).collect();
+    let test_labels: Vec<usize> = ds.test.iter().map(|d| d.label).collect();
+
+    let mut net = LeNet5::new(&mut rng);
+    println!("training LeNet-5 on {} synthetic digits…", train.len());
+    // Per-sample SGD: with momentum 0.9 the effective step is lr/(1−m), so
+    // keep the raw lr small and decay it per epoch (fixed-rate momentum SGD
+    // can diverge late in training).
+    for epoch in 0..5 {
+        let lr = 0.002 * 0.75_f64.powi(epoch as i32);
+        let stats = net.train_epoch(&train, &train_labels, lr, 0.9);
+        println!(
+            "  epoch {epoch}: loss {:.4}, train accuracy {:.1} %",
+            stats.loss,
+            100.0 * stats.accuracy
+        );
+    }
+
+    let float32 = net.evaluate(&test, &test_labels);
+    println!("\nfloat32 software accuracy: {:.2} %", 100.0 * float32);
+
+    // Analog inference on a full 16-macro, 128×128 GRAMC system.
+    let _ = MacroGroup::new(1, MacroConfig::small_ideal(2), 0); // facade smoke use
+    let mut int4 =
+        GramcLenet::new(net.clone(), Precision::Int4, MacroConfig::default(), 16, 9)?;
+    let acc4 = int4.evaluate(&test, &test_labels)?;
+    println!("GRAMC INT4 analog accuracy: {:.2} %", 100.0 * acc4);
+
+    let mut int8 =
+        GramcLenet::new(net, Precision::Int8, MacroConfig::default(), 16, 10)?;
+    let acc8 = int8.evaluate(&test, &test_labels)?;
+    println!("GRAMC INT8 analog accuracy: {:.2} %", 100.0 * acc8);
+
+    println!(
+        "\nordering (paper Fig. 5): INT4 {:.3} ≤ INT8 {:.3} ≈ FP32 {:.3}",
+        acc4, acc8, float32
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Solve a discretized 1-D *screened* Poisson (reaction–diffusion) problem
+//! with the INV configuration and use the analog result as a *seed
+//! solution* for digital refinement — quantifying the paper's claim that
+//! AMC outputs "may be used as seed solutions to speed up the convergence
+//! towards precise final solutions".
+//!
+//! The screening term matters: a pure Poisson operator at n = 32 has
+//! condition number ≈ 440, which amplifies the 4-bit quantization error
+//! into a useless solve — analog one-step solvers need well-conditioned
+//! operators (the paper's Wishart test matrices are). The screened operator
+//! (κ ≈ 9) is the regime where the seed genuinely accelerates refinement.
+//!
+//! ```sh
+//! cargo run --release --example linear_system
+//! ```
+
+use gramc::core::{MacroConfig, MacroGroup};
+use gramc::linalg::{iterative, lu, vector, Matrix};
+
+/// Tridiagonal screened-Poisson operator `-u'' + σ²·u` with Dirichlet
+/// boundaries: diagonal `2 + σ²`, off-diagonal `-1`.
+fn screened_poisson(n: usize, sigma_sq: f64) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            2.0 + sigma_sq
+        } else if i.abs_diff(j) == 1 {
+            -1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 32;
+    let a = screened_poisson(n, 0.5);
+    // Heat source concentrated mid-domain.
+    let b: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = (i as f64 + 1.0) / (n as f64 + 1.0);
+            (-(x - 0.5) * (x - 0.5) / 0.02).exp()
+        })
+        .collect();
+
+    let mut group = MacroGroup::new(2, MacroConfig::small(n), 7);
+    let op = group.load_matrix(&a)?;
+
+    // One-step analog solve (4-bit quantized operator + analog noise).
+    let x_analog = group.solve_inv(op, &b)?;
+    let x_exact = lu::solve(&a, &b)?;
+    let seed_err = vector::rel_error(&x_analog, &x_exact);
+    println!("analog seed relative error: {:.2} %", 100.0 * seed_err);
+
+    // A subtlety worth knowing: the analog solve's error is A⁻¹-shaped —
+    // concentrated in the LOW-eigenvalue modes, which are exactly the modes
+    // plain digital iterations damp slowest. A naive warm start therefore
+    // helps little. The hardware-faithful scheme is **analog iterative
+    // refinement** (mixed-precision refinement with the macro as the inner
+    // solver): the systematic quantization error then contracts the
+    // residual geometrically instead of flooring the accuracy.
+    //
+    //     x ← x + AnalogSolve(b − A·x)
+    let tol = 1e-10;
+    let mut x = vec![0.0; n];
+    let mut refinement_solves = 0;
+    for _ in 0..60 {
+        let r = vector::sub(&b, &a.matvec(&x));
+        let rel = vector::norm2(&r) / vector::norm2(&b);
+        if rel <= tol {
+            break;
+        }
+        let dx = group.solve_inv(op, &r)?;
+        vector::axpy(1.0, &dx, &mut x);
+        refinement_solves += 1;
+    }
+    let final_res = vector::rel_error(&a.matvec(&x), &b);
+    println!("analog iterative refinement: {refinement_solves} one-step solves to {final_res:.2e}");
+
+    // Digital baselines at the same tolerance.
+    let cg = iterative::conjugate_gradient(&a, &b, &vec![0.0; n], tol, 10_000)?;
+    let omega = 0.42; // < 2/λ_max(A) ≈ 0.44 for the screened operator
+    let rich = iterative::richardson(&a, &b, &vec![0.0; n], omega, tol, 200_000)?;
+    println!("digital CG        : {} iterations (each an n×n MVM)", cg.iterations);
+    println!("digital Richardson: {} iterations", rich.iterations);
+    println!(
+        "each analog solve settles in O(1) time regardless of n — the
+         refinement loop replaces {} digital sweeps with {} analog solves",
+        rich.iterations, refinement_solves
+    );
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Cross-validation of the two EGV implementations: the macro layer's
+//! behavioural clipped-fixed-point iteration against the full MNA transient
+//! of the EGV circuit (`gramc-circuit`). Both must settle on the same
+//! dominant eigenvector — they are two views of the same physics (the
+//! transient's saturated equilibrium *is* the clipped fixed point).
+
+use gramc::circuit::{topology, transient_solve, OpampModel, TransientConfig};
+use gramc::linalg::{vector, Matrix, SymmetricEigen};
+
+/// Splits a signed matrix into conductance planes with the level-0 floor.
+fn split(a: &Matrix, unit: f64, floor: f64) -> (Matrix, Matrix) {
+    (
+        a.map(|v| if v > 0.0 { v * unit + floor } else { floor }),
+        a.map(|v| if v < 0.0 { -v * unit + floor } else { floor }),
+    )
+}
+
+/// The behavioural map used by `MacroGroup::solve_egv`: iterate
+/// `u ← clip(ΔG·u / g_λ)` to its fixed point.
+fn behavioural_egv(dg: &Matrix, g_lambda: f64, v_sat: f64, n: usize) -> Vec<f64> {
+    let mut u: Vec<f64> = (0..n).map(|k| 1e-3 * (((k * 37 + 11) % 17) as f64 - 8.0)).collect();
+    for _ in 0..200_000 {
+        let w = dg.matvec(&u);
+        let next: Vec<f64> =
+            w.iter().map(|wi| (wi / g_lambda).clamp(-v_sat, v_sat)).collect();
+        let (nd, _) = vector::normalize(&next);
+        let (ud, _) = vector::normalize(&u);
+        let delta = vector::rel_error_up_to_sign(&nd, &ud);
+        let amp = (vector::norm2(&next) - vector::norm2(&u)).abs()
+            / vector::norm2(&next).max(1e-30);
+        u = next;
+        if delta < 1e-12 && amp < 1e-12 {
+            break;
+        }
+    }
+    u
+}
+
+#[test]
+fn behavioural_fixed_point_matches_circuit_transient() {
+    // Small PSD matrix with a clear dominant mode.
+    let a = Matrix::from_rows(&[
+        &[2.2, 0.7, 0.3, 0.1],
+        &[0.7, 1.8, 0.2, 0.2],
+        &[0.3, 0.2, 1.2, 0.1],
+        &[0.1, 0.2, 0.1, 0.9],
+    ]);
+    let eig = SymmetricEigen::new(&a).unwrap();
+    let lambda1 = eig.eigenvalues[0];
+
+    let unit = 40e-6;
+    let floor = 1e-6;
+    let (gp, gn) = split(&a, unit, floor);
+    let g_lambda = 0.97 * lambda1 * unit;
+    let v_sat = 1.2;
+
+    // Behavioural fixed point on the exact ΔG.
+    let dg = &gp - &gn;
+    let u_beh = behavioural_egv(&dg, g_lambda, v_sat, 4);
+    let (u_beh, norm_beh) = vector::normalize(&u_beh);
+    assert!(norm_beh > 0.05, "behavioural mode did not grow");
+
+    // Full circuit transient (high gain, dt resolving the gain-fast growth).
+    let t = topology::build_egv(&gp, &gn, g_lambda, OpampModel::with_gain(1e4)).unwrap();
+    let n_ops = t.circuit.opamp_count();
+    let seed: Vec<f64> = (0..n_ops).map(|k| 1e-4 * ((k % 5) as f64 - 2.0)).collect();
+    let cfg = TransientConfig { dt: Some(2e-11), t_max: 2e-6, settle_tol: 1e-6, ..Default::default() };
+    let tr = transient_solve(&t.circuit, &seed, &cfg).unwrap();
+    let x_raw = tr.voltages(&t.x_nodes);
+    let (x_circ, norm_circ) = vector::normalize(&x_raw);
+    assert!(norm_circ > 0.05, "circuit mode did not grow");
+
+    // The two must agree on the direction (and both match the eigenvector).
+    let cross_err = vector::rel_error_up_to_sign(&u_beh, &x_circ);
+    assert!(cross_err < 0.05, "behavioural vs circuit: {cross_err}");
+    let v_ref = eig.eigenvector(0);
+    assert!(vector::rel_error_up_to_sign(&u_beh, &v_ref) < 0.06, "behavioural vs digital");
+    assert!(vector::rel_error_up_to_sign(&x_circ, &v_ref) < 0.06, "circuit vs digital");
+}
+
+#[test]
+fn both_implementations_decay_when_lambda_overshoots() {
+    let a = Matrix::from_rows(&[&[1.5, 0.4], &[0.4, 1.0]]);
+    let eig = SymmetricEigen::new(&a).unwrap();
+    let unit = 40e-6;
+    let (gp, gn) = split(&a, unit, 1e-6);
+    let g_lambda = 1.15 * eig.eigenvalues[0] * unit; // above the spectrum
+
+    let dg = &gp - &gn;
+    let mut u = vec![1e-3, -1e-3];
+    for _ in 0..20_000 {
+        u = dg.matvec(&u).iter().map(|w| (w / g_lambda).clamp(-1.2, 1.2)).collect();
+    }
+    assert!(vector::norm2(&u) < 1e-9, "behavioural map should decay");
+
+    let t = topology::build_egv(&gp, &gn, g_lambda, OpampModel::with_gain(1e4)).unwrap();
+    let n_ops = t.circuit.opamp_count();
+    let seed: Vec<f64> = (0..n_ops).map(|k| 1e-3 * ((k % 3) as f64 - 1.0)).collect();
+    let cfg = TransientConfig { dt: Some(2e-11), t_max: 2e-6, ..Default::default() };
+    let tr = transient_solve(&t.circuit, &seed, &cfg).unwrap();
+    assert!(
+        vector::norm2(&tr.voltages(&t.x_nodes)) < 1e-4,
+        "circuit should decay when λ̂ > λ₁"
+    );
+}

@@ -1,0 +1,108 @@
+//! Small-scale versions of every figure experiment, asserted as shape
+//! invariants — the CI-sized counterpart of the `fig*` bench binaries.
+
+use gramc::array::{reset_staircase, set_staircase, WriteVerifyController};
+use gramc::core::{MacroConfig, MacroGroup, NonidealityConfig};
+use gramc::data::DigitsDataset;
+use gramc::device::{CellNoise, DeviceParams, Nmos, OneTOneR};
+use gramc::linalg::{random, vector};
+use gramc::nn::{GramcLenet, LeNet5, Precision, Tensor3};
+
+fn quiet_cell() -> OneTOneR {
+    OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::none())
+}
+
+#[test]
+fn fig1b_shape_set_staircases() {
+    // (i) both step sizes climb monotonically; (ii) 0.02 V/step reaches the
+    // top level within 30 pulses; (iii) 0.01 V/step is markedly slower.
+    let wv = WriteVerifyController::paper_default();
+    let mut rng = random::seeded_rng(300);
+    let mut c1 = quiet_cell();
+    let fast = set_staircase(&mut c1, wv.config(), wv.quantizer(), 0.02, 0, 30, &mut rng);
+    let mut c2 = quiet_cell();
+    let slow = set_staircase(&mut c2, wv.config(), wv.quantizer(), 0.01, 0, 30, &mut rng);
+    for w in fast.windows(2) {
+        assert!(w[1].1 >= w[0].1 - 0.3, "fast staircase dipped: {w:?}");
+    }
+    assert!(fast.last().unwrap().1 >= 14.0, "fast top {:?}", fast.last());
+    assert!(
+        slow.last().unwrap().1 < fast.last().unwrap().1 - 3.0,
+        "0.01 V/step should be clearly slower"
+    );
+}
+
+#[test]
+fn fig1c_shape_reset_staircases() {
+    let wv = WriteVerifyController::paper_default();
+    let mut rng = random::seeded_rng(301);
+    let mut c1 = quiet_cell();
+    let s02 = reset_staircase(&mut c1, wv.config(), wv.quantizer(), 0.02, 15, 30, &mut rng);
+    let mut c2 = quiet_cell();
+    let s03 = reset_staircase(&mut c2, wv.config(), wv.quantizer(), 0.03, 15, 30, &mut rng);
+    for w in s02.windows(2) {
+        assert!(w[1].1 <= w[0].1 + 0.3, "reset staircase rose: {w:?}");
+    }
+    assert!(s03.last().unwrap().1 <= 1.5, "0.03 V/step should reach the bottom");
+    // Larger V_SL step descends at least as fast at every pulse count.
+    let mid = 10;
+    assert!(s03[mid].1 <= s02[mid].1 + 0.5, "0.03 should lead 0.02 at pulse {mid}");
+}
+
+#[test]
+fn fig4_error_band_at_reduced_scale() {
+    // All four modes on 24-dim workloads with paper noise: errors within
+    // the Fig. 4 "around ten percent" band (generously 25 %), and non-zero.
+    let n = 24;
+    let mut rng = random::seeded_rng(302);
+    let config = MacroConfig { array_rows: n, array_cols: n, ..Default::default() };
+    let mut group = MacroGroup::new(4, config, 303);
+
+    let a = random::wishart(&mut rng, n, 16 * n);
+    let x = random::normal_vector(&mut rng, n);
+    let op = group.load_matrix(&a).unwrap();
+    let mvm_err = vector::rel_error(&group.mvm(op, &x).unwrap(), &a.matvec(&x));
+    assert!(mvm_err > 0.001 && mvm_err < 0.25, "MVM {mvm_err}");
+
+    let quantized = group.operator_info(op).unwrap().quantized.clone();
+    let x_sol = group.solve_inv(op, &x).unwrap();
+    let inv_err =
+        vector::rel_error(&x_sol, &gramc::linalg::lu::solve(&quantized, &x).unwrap());
+    assert!(inv_err > 0.001 && inv_err < 0.25, "INV {inv_err}");
+}
+
+#[test]
+fn fig5_precision_ordering_holds_at_reduced_scale() {
+    // Train a small model, then check INT4 ≤ INT8 within tolerance and both
+    // close to FP32 — the Fig. 5 bar-chart shape.
+    let mut rng = random::seeded_rng(304);
+    let ds = DigitsDataset::generate(&mut rng, 300, 100);
+    let train: Vec<Tensor3> =
+        ds.train.iter().map(|d| Tensor3::from_vec(1, 28, 28, d.pixels.clone())).collect();
+    let train_labels: Vec<usize> = ds.train.iter().map(|d| d.label).collect();
+    let test: Vec<Tensor3> =
+        ds.test.iter().map(|d| Tensor3::from_vec(1, 28, 28, d.pixels.clone())).collect();
+    let test_labels: Vec<usize> = ds.test.iter().map(|d| d.label).collect();
+
+    let mut net = LeNet5::new(&mut rng);
+    for _ in 0..4 {
+        net.train_epoch(&train, &train_labels, 0.002, 0.9);
+    }
+    let fp32 = net.evaluate(&test, &test_labels);
+    // The reduced-scale model is deliberately under-trained (4 epochs, 300
+    // images); what this test pins down is that the ANALOG path tracks the
+    // software model, not the absolute accuracy (that is fig5_lenet's job).
+    assert!(fp32 > 0.35, "software model degenerate: {fp32}");
+
+    let cfg = MacroConfig { nonideal: NonidealityConfig::paper_default(), ..Default::default() };
+    let mut int8 =
+        GramcLenet::new(net.clone(), Precision::Int8, cfg.clone(), 16, 305).unwrap();
+    let acc8 = int8.evaluate(&test, &test_labels).unwrap();
+    let mut int4 = GramcLenet::new(net, Precision::Int4, cfg, 16, 306).unwrap();
+    let acc4 = int4.evaluate(&test, &test_labels).unwrap();
+
+    assert!(acc4 >= fp32 - 0.15, "INT4 collapsed: {acc4} vs fp32 {fp32}");
+    assert!(acc8 >= fp32 - 0.10, "INT8 collapsed: {acc8} vs fp32 {fp32}");
+    // 100 test images ⇒ ±5 % binomial noise; 0.08 ≈ 1.6σ tie margin.
+    assert!(acc4 <= acc8 + 0.08, "ordering violated: INT4 {acc4} > INT8 {acc8}");
+}

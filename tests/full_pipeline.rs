@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the complete write-verify → configure →
+//! solve pipelines through the GRAMC system, for all four computing modes,
+//! at paper-default noise.
+
+use gramc::core::compiler::{compile, execute, MatrixOp};
+use gramc::core::isa::{BufferRef, Instruction};
+use gramc::core::system::GramcSystem;
+use gramc::core::{MacroConfig, MacroGroup, NonidealityConfig};
+use gramc::data::{spiked_gram, Pm25Dataset};
+use gramc::linalg::{lu, pseudoinverse, random, vector, SymmetricEigen};
+
+const N: usize = 24;
+
+fn paper_system(seed: u64) -> GramcSystem {
+    GramcSystem::new(4, MacroConfig { array_rows: N, array_cols: N, ..Default::default() }, seed, 8192)
+}
+
+#[test]
+fn mvm_through_the_controller_with_paper_noise() {
+    let mut rng = random::seeded_rng(200);
+    let a = random::wishart(&mut rng, N, 16 * N);
+    let x = random::normal_vector(&mut rng, N);
+    let mut sys = paper_system(201);
+    sys.write_global(0, a.as_slice()).unwrap();
+    sys.write_global(1024, &x).unwrap();
+    sys.load_program(vec![
+        Instruction::LoadMatrix {
+            slot: 0,
+            rows: N as u16,
+            cols: N as u16,
+            src: BufferRef::global(0, (N * N) as u32),
+        },
+        Instruction::Mvm {
+            slot: 0,
+            src: BufferRef::global(1024, N as u32),
+            dst: BufferRef::output(0, N as u32),
+        },
+        Instruction::Halt,
+    ]);
+    sys.run(100).unwrap();
+    let y = sys.read_output(BufferRef::output(0, N as u32)).unwrap();
+    let err = vector::rel_error(&y, &a.matvec(&x));
+    assert!(err < 0.25, "MVM error out of Fig. 4 band: {err}");
+    assert!(err > 1e-4, "noise should be present: {err}");
+}
+
+#[test]
+fn inv_through_the_controller_against_quantized_reference() {
+    let mut rng = random::seeded_rng(202);
+    let a = random::spd_with_condition(&mut rng, N, 3.0);
+    let b = random::normal_vector(&mut rng, N);
+    let mut sys = paper_system(203);
+    let program =
+        compile(&[MatrixOp::SolveInv { a: a.clone(), b: b.clone() }]).unwrap();
+    let out = execute(&mut sys, &program, 1000).unwrap();
+    let x_ref = lu::solve(&a, &b).unwrap();
+    let err = vector::rel_error(&out[0], &x_ref);
+    assert!(err < 0.30, "INV error {err}");
+}
+
+#[test]
+fn pinv_regression_end_to_end() {
+    let mut rng = random::seeded_rng(204);
+    let ds = Pm25Dataset::generate(&mut rng, 128, 0.05);
+    let mut group = MacroGroup::new(2, MacroConfig::default(), 205);
+    let op = group.load_matrix(&ds.design).unwrap();
+    let w = group.solve_pinv(op, &ds.response).unwrap();
+    let w_ref = pseudoinverse(&ds.design).unwrap().matvec(&ds.response);
+    let err = vector::rel_error(&w, &w_ref);
+    assert!(err < 0.15, "PINV error {err}");
+}
+
+#[test]
+fn egv_end_to_end_on_spiked_gram() {
+    let mut rng = random::seeded_rng(206);
+    let gram = spiked_gram(&mut rng, N, 4 * N, 3.0);
+    let mut group = MacroGroup::new(
+        2,
+        MacroConfig { array_rows: N, array_cols: N, ..Default::default() },
+        207,
+    );
+    let op = group.load_matrix(&gram).unwrap();
+    let sol = group.solve_egv(op).unwrap();
+    let eig = SymmetricEigen::new(&gram).unwrap();
+    let err = vector::rel_error_up_to_sign(&sol.eigenvector, &eig.eigenvector(0));
+    assert!(err < 0.25, "EGV error {err}");
+    let lam_err = (sol.eigenvalue - eig.eigenvalues[0]).abs() / eig.eigenvalues[0];
+    assert!(lam_err < 0.15, "eigenvalue error {lam_err}");
+}
+
+#[test]
+fn pulse_level_write_verify_pipeline() {
+    // Full pulse-mode programming (no direct seating) through a small solve.
+    let mut rng = random::seeded_rng(208);
+    let a = random::spd_with_condition(&mut rng, 8, 3.0);
+    let b = random::normal_vector(&mut rng, 8);
+    let config = MacroConfig {
+        array_rows: 8,
+        array_cols: 8,
+        nonideal: NonidealityConfig::paper_default().with_pulse_programming(),
+        ..Default::default()
+    };
+    let mut group = MacroGroup::new(2, config, 209);
+    let op = group.load_matrix(&a).unwrap();
+    let x = group.solve_inv(op, &b).unwrap();
+    let x_ref = lu::solve(&a, &b).unwrap();
+    let err = vector::rel_error(&x, &x_ref);
+    assert!(err < 0.30, "pulse-programmed INV error {err}");
+}
+
+#[test]
+fn reconfiguration_sequence_all_four_modes_one_system() {
+    // The headline claim: one macro group, four computing modes in sequence.
+    let mut rng = random::seeded_rng(210);
+    let a = random::spd_with_condition(&mut rng, N, 3.0);
+    let tall = random::gaussian_matrix(&mut rng, N, 4);
+    let gram = spiked_gram(&mut rng, N, 4 * N, 3.0);
+    let x = random::normal_vector(&mut rng, N);
+    let program = compile(&[
+        MatrixOp::Mvm { a: a.clone(), x: x.clone() },
+        MatrixOp::SolveInv { a: a.clone(), b: x.clone() },
+        MatrixOp::SolvePinv { a: tall.clone(), b: x.clone() },
+        MatrixOp::SolveEgv { a: gram.clone() },
+    ])
+    .unwrap();
+    let mut sys = paper_system(211);
+    let out = execute(&mut sys, &program, 10_000).unwrap();
+    assert_eq!(out.len(), 4);
+    assert!(vector::rel_error(&out[0], &a.matvec(&x)) < 0.25, "MVM");
+    assert!(vector::rel_error(&out[1], &lu::solve(&a, &x).unwrap()) < 0.30, "INV");
+    let w_ref = pseudoinverse(&tall).unwrap().matvec(&x);
+    assert!(vector::rel_error(&out[2], &w_ref) < 0.30, "PINV");
+    let eig = SymmetricEigen::new(&gram).unwrap();
+    assert!(vector::rel_error_up_to_sign(&out[3], &eig.eigenvector(0)) < 0.25, "EGV");
+    // All macros recycled by the compiler's FreeMatrix instructions.
+    assert_eq!(sys.macro_group().free_macros(), 4);
+}
+
+#[test]
+fn analog_iterative_refinement_converges() {
+    // The mixed-precision refinement loop from the linear_system example,
+    // asserted as an invariant: residual contraction to near machine level.
+    let mut rng = random::seeded_rng(212);
+    let a = random::spd_with_condition(&mut rng, N, 5.0);
+    let b = random::normal_vector(&mut rng, N);
+    let mut group = MacroGroup::new(
+        2,
+        MacroConfig { array_rows: N, array_cols: N, ..Default::default() },
+        213,
+    );
+    let op = group.load_matrix(&a).unwrap();
+    let mut x = vec![0.0; N];
+    for _ in 0..40 {
+        let r = vector::sub(&b, &a.matvec(&x));
+        if vector::norm2(&r) / vector::norm2(&b) < 1e-9 {
+            break;
+        }
+        let dx = group.solve_inv(op, &r).unwrap();
+        vector::axpy(1.0, &dx, &mut x);
+    }
+    let res = vector::rel_error(&a.matvec(&x), &b);
+    assert!(res < 1e-8, "refinement stalled at {res}");
+}

@@ -1,0 +1,119 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary well-formed inputs.
+
+use gramc::array::{ActiveRegion, ArrayConfig, ConductanceMapper, CrossbarArray, SignedEncoding};
+use gramc::circuit::{dc_solve, topology, OpampModel};
+use gramc::device::LevelQuantizer;
+use gramc::linalg::{lu, qr, svd, vector, Matrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0..3.0f64, n * n)
+        .prop_map(move |v| Matrix::from_vec(n, n, v))
+}
+
+fn diag_dominant(n: usize) -> impl Strategy<Value = Matrix> {
+    small_matrix(n).prop_map(move |mut m| {
+        for i in 0..n {
+            let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
+            m[(i, i)] = row_sum + 1.0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lu_solve_residual_is_small(a in diag_dominant(6), b in proptest::collection::vec(-5.0..5.0f64, 6)) {
+        let x = lu::solve(&a, &b).unwrap();
+        prop_assert!(vector::rel_error(&a.matvec(&x), &b) < 1e-9);
+    }
+
+    #[test]
+    fn lu_inverse_roundtrips(a in diag_dominant(5)) {
+        let inv = lu::inverse(&a).unwrap();
+        prop_assert!(a.matmul(&inv).approx_eq(&Matrix::identity(5), 1e-8));
+    }
+
+    #[test]
+    fn qr_reconstructs(a in small_matrix(5)) {
+        if let Ok(qr_dec) = qr::QrDecomposition::new(&a) {
+            let rec = qr_dec.q().matmul(&qr_dec.r());
+            prop_assert!(rec.approx_eq(&a, 1e-9));
+        }
+    }
+
+    #[test]
+    fn svd_singular_values_nonneg_and_sorted(a in small_matrix(5)) {
+        let s = svd::Svd::new(&a).unwrap();
+        for w in s.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(s.singular_values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn mapping_roundtrip_bounded_by_half_level(a in small_matrix(6)) {
+        prop_assume!(a.max_abs() > 1e-6);
+        let mapper = ConductanceMapper::paper_default();
+        let mapped = mapper.map(&a).unwrap();
+        let err = (&mapped.dequantize() - &a).max_abs();
+        prop_assert!(err <= 0.5 * mapped.scale + 1e-12);
+    }
+
+    #[test]
+    fn crossbar_fast_path_equals_conductance_matvec(
+        levels in proptest::collection::vec(0usize..16, 9),
+        v in proptest::collection::vec(-0.2..0.2f64, 3),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut xbar = CrossbarArray::new(ArrayConfig::ideal(3, 3), &mut rng);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(3, 3);
+        let targets = Matrix::from_fn(3, 3, |i, j| q.conductance_of(levels[i * 3 + j]));
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+        let i_fast = xbar.row_currents(region, &v, &mut rng).unwrap();
+        let i_ref = targets.matvec(&v);
+        for (a, b) in i_fast.iter().zip(&i_ref) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inv_circuit_solves_diag_dominant(a in diag_dominant(4), b in proptest::collection::vec(-1.0..1.0f64, 4)) {
+        // Map to conductances and solve through the MNA; compare digital.
+        let unit = 40e-6;
+        let floor = 1e-6;
+        let g_pos = a.map(|x| if x > 0.0 { x * unit + floor } else { floor });
+        let g_neg = a.map(|x| if x < 0.0 { -x * unit + floor } else { floor });
+        let v_unit = 0.05;
+        let i_in: Vec<f64> = b.iter().map(|bi| -unit * bi * v_unit).collect();
+        let t = topology::build_inv(&g_pos, &g_neg, &i_in, OpampModel::ideal()).unwrap();
+        let sol = dc_solve(&t.circuit).unwrap();
+        let x: Vec<f64> = sol.voltages(&t.x_nodes).iter().map(|v| v / v_unit).collect();
+        let x_ref = lu::solve(&a, &b).unwrap();
+        for (u, w) in x.iter().zip(&x_ref) {
+            prop_assert!((u - w).abs() < 1e-6, "{x:?} vs {x_ref:?}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(xs in proptest::collection::vec(-20.0..20.0f64, 1..12)) {
+        let p = gramc::core::softmax(&xs);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn dac_adc_roundtrip_error_bounded(x in -1.0..1.0f64) {
+        let dac = gramc::core::Dac::new(8, 0.2);
+        let adc = gramc::core::Adc::new(10, 0.2);
+        let v = dac.convert(x);
+        let back = adc.convert(v);
+        prop_assert!((back - x).abs() <= 1.0 / 127.0 + 1.0 / 511.0);
+    }
+}
