@@ -5,6 +5,8 @@
 //! enabled by BL, WL, and source-line (SL) drivers, which allow to select the
 //! active region in the array to fit different sizes of matrix problems."
 
+use std::sync::Mutex;
+
 use gramc_device::{CellNoise, DeviceParams, LevelQuantizer, Nmos, OneTOneR};
 use gramc_linalg::Matrix;
 use rand::Rng;
@@ -101,7 +103,49 @@ impl ActiveRegion {
     }
 }
 
+/// One cached effective-conductance snapshot (see
+/// [`CrossbarArray::effective_conductances`]). The squared and transposed
+/// variants feed the batched MVM kernels and are derived lazily.
+#[derive(Debug)]
+struct Snapshot {
+    region: ActiveRegion,
+    g: Matrix,
+    /// `gᵀ` (lazily built; used by [`CrossbarArray::row_currents_batch`]).
+    g_t: Option<Matrix>,
+}
+
+/// Region-keyed snapshot cache, valid for one array generation.
+#[derive(Debug, Default)]
+struct ConductanceCache {
+    entries: Vec<Snapshot>,
+}
+
+/// Cached regions kept per array. An operator occupies at most a few plane
+/// regions on one array, so a handful of slots never thrashes.
+const CACHE_SLOTS: usize = 8;
+
 /// A crossbar of 1T1R cells with region-selectable drivers.
+///
+/// # Conductance cache and invalidation contract
+///
+/// Reconstructing the effective-conductance matrix of a region walks every
+/// cell's compact model — by far the dominant cost of an analog read when
+/// the array state has not changed. The array therefore keeps a
+/// *generation-tagged snapshot cache*:
+///
+/// * every mutation ([`program_direct`](Self::program_direct) and every
+///   [`cell_mut`](Self::cell_mut) borrow — the write-verify controller's
+///   entry point) bumps [`generation`](Self::generation) and drops all
+///   snapshots;
+/// * [`effective_conductances`](Self::effective_conductances),
+///   [`row_currents`](Self::row_currents) / [`col_currents`](Self::col_currents)
+///   and the batched variants ([`row_currents_batch`](Self::row_currents_batch)
+///   / [`col_currents_batch`](Self::col_currents_batch)) serve from the
+///   snapshot of their region, rebuilding it only on the first read after a
+///   mutation.
+///
+/// Noisy reads ([`conductances`](Self::conductances)) model a fresh ADC
+/// sample per call and are deliberately never cached.
 ///
 /// # Examples
 ///
@@ -115,10 +159,28 @@ impl ActiveRegion {
 /// let g = xbar.conductances(region, &mut rng).unwrap();
 /// assert_eq!(g.shape(), (4, 4));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CrossbarArray {
     config: ArrayConfig,
     cells: Vec<OneTOneR>,
+    /// Bumped on every mutation; snapshots from older generations are stale.
+    generation: u64,
+    /// Interior-mutable so `&self` read paths can populate it (a `Mutex`
+    /// rather than `RefCell` keeps the array `Send + Sync`; reads are
+    /// single-owner in practice, so the lock is uncontended).
+    cache: Mutex<ConductanceCache>,
+}
+
+impl Clone for CrossbarArray {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            cells: self.cells.clone(),
+            generation: self.generation,
+            // Snapshots are derived data; the clone rebuilds on first read.
+            cache: Mutex::new(ConductanceCache::default()),
+        }
+    }
 }
 
 impl CrossbarArray {
@@ -135,7 +197,47 @@ impl CrossbarArray {
                 config.d2d_g0_sigma,
             ));
         }
-        Self { config, cells }
+        Self { config, cells, generation: 0, cache: Mutex::new(ConductanceCache::default()) }
+    }
+
+    /// Mutation counter: bumped whenever the array state may have changed
+    /// (cell programming or a mutable cell borrow). Snapshot consumers can
+    /// use it to detect staleness across reads.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Drops all cached snapshots and bumps the generation. Called by every
+    /// mutating entry point; public so external controllers driving cells
+    /// directly can keep the contract.
+    pub fn invalidate_cache(&mut self) {
+        self.generation += 1;
+        self.cache.get_mut().expect("cache lock poisoned").entries.clear();
+    }
+
+    /// Runs `f` on the (possibly freshly built) snapshot for `region`.
+    fn with_snapshot<T>(
+        &self,
+        region: ActiveRegion,
+        f: impl FnOnce(&mut Snapshot) -> T,
+    ) -> Result<T, ArrayError> {
+        self.check_region(region)?;
+        let mut cache = self.cache.lock().expect("cache lock poisoned");
+        if let Some(pos) = cache.entries.iter().position(|s| s.region == region) {
+            // Move to the back (most recently used).
+            let mut snap = cache.entries.remove(pos);
+            let out = f(&mut snap);
+            cache.entries.push(snap);
+            return Ok(out);
+        }
+        let g = self.build_effective_conductances(region)?;
+        let mut snap = Snapshot { region, g, g_t: None };
+        let out = f(&mut snap);
+        if cache.entries.len() >= CACHE_SLOTS {
+            cache.entries.remove(0);
+        }
+        cache.entries.push(snap);
+        Ok(out)
     }
 
     /// The array configuration.
@@ -176,11 +278,16 @@ impl CrossbarArray {
     /// Mutable access to the cell at `(row, col)` (used by the write-verify
     /// controller).
     ///
+    /// Conservatively invalidates the conductance cache: the borrow may be
+    /// used to pulse or reprogram the cell, and a stale snapshot must never
+    /// outlive a mutation (see the cache contract in the type docs).
+    ///
     /// # Panics
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn cell_mut(&mut self, row: usize, col: usize) -> &mut OneTOneR {
         assert!(row < self.config.rows && col < self.config.cols, "cell out of bounds");
+        self.invalidate_cache();
         &mut self.cells[row * self.config.cols + col]
     }
 
@@ -226,10 +333,20 @@ impl CrossbarArray {
     /// `d = i + j` segments from the drivers sees its conductance reduced to
     /// `G / (1 + G·R_wire·d)`.
     ///
+    /// Served from the generation-tagged snapshot cache (see the type docs):
+    /// the first call after a mutation rebuilds the snapshot, subsequent
+    /// calls for the same region copy it out.
+    ///
     /// # Errors
     ///
     /// Returns [`ArrayError::RegionOutOfBounds`] for invalid regions.
     pub fn effective_conductances(&self, region: ActiveRegion) -> Result<Matrix, ArrayError> {
+        self.with_snapshot(region, |snap| snap.g.clone())
+    }
+
+    /// Uncached snapshot construction (the pre-cache `effective_conductances`
+    /// body). Also the bench baseline for the per-call reconstruction cost.
+    fn build_effective_conductances(&self, region: ActiveRegion) -> Result<Matrix, ArrayError> {
         let mut g = self.conductances_ideal(region)?;
         let r = self.config.wire_resistance;
         if r > 0.0 {
@@ -242,6 +359,17 @@ impl CrossbarArray {
             }
         }
         Ok(g)
+    }
+
+    /// Public uncached reconstruction: reads every cell's compact model and
+    /// applies the IR-drop correction, bypassing the snapshot cache. This is
+    /// what every MVM paid before the cache existed; the perf benches time
+    /// the cached fast path against it.
+    pub fn effective_conductances_uncached(
+        &self,
+        region: ActiveRegion,
+    ) -> Result<Matrix, ArrayError> {
+        self.build_effective_conductances(region)
     }
 
     /// Analog MVM fast path: drives the region's columns with `v_cols` volts
@@ -271,25 +399,82 @@ impl CrossbarArray {
                 found: (v_cols.len(), 1),
             });
         }
-        let g = self.effective_conductances(region)?;
         let sigma = self.config.noise.read_rel_sigma;
-        let mut out = Vec::with_capacity(region.rows);
-        for i in 0..region.rows {
-            let mut sum = 0.0;
-            let mut var = 0.0;
-            for j in 0..region.cols {
-                let term = g[(i, j)] * v_cols[j];
-                sum += term;
-                var += term * term;
+        self.with_snapshot(region, |snap| {
+            let g = &snap.g;
+            let mut out = Vec::with_capacity(region.rows);
+            for i in 0..region.rows {
+                let mut sum = 0.0;
+                let mut var = 0.0;
+                for (j, &gij) in g.row(i).iter().enumerate() {
+                    let term = gij * v_cols[j];
+                    sum += term;
+                    var += term * term;
+                }
+                let noise =
+                    if sigma > 0.0 { sigma * var.sqrt() * standard_normal(rng) } else { 0.0 };
+                out.push(sum + noise);
             }
-            let noise = if sigma > 0.0 {
-                sigma * var.sqrt() * standard_normal(rng)
-            } else {
-                0.0
-            };
-            out.push(sum + noise);
+            out
+        })
+    }
+
+    /// Batched analog MVM: every row of `v_batch` is one column-voltage
+    /// drive vector, and row `b` of the output holds the per-row currents
+    /// `I_b = G·v_b`. The conductance snapshot is read **once** for the
+    /// whole batch and the products run through the blocked
+    /// [`Matrix::matmul`] kernel, so a batch of `B` vectors costs one
+    /// snapshot plus one `(B×cols)·(cols×rows)` product instead of `B`
+    /// matrix reconstructions.
+    ///
+    /// Per-output aggregated read noise is applied exactly as in
+    /// [`row_currents`](Self::row_currents), drawing per output in batch-row
+    /// major order — calling this with a batch of `B` vectors is
+    /// bit-identical to `B` sequential `row_currents` calls with the same
+    /// RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::ShapeMismatch`] if `v_batch.cols() !=
+    /// region.cols` and [`ArrayError::RegionOutOfBounds`] for invalid
+    /// regions.
+    pub fn row_currents_batch<R: Rng + ?Sized>(
+        &self,
+        region: ActiveRegion,
+        v_batch: &Matrix,
+        rng: &mut R,
+    ) -> Result<Matrix, ArrayError> {
+        self.check_region(region)?;
+        if v_batch.cols() != region.cols {
+            return Err(ArrayError::ShapeMismatch {
+                expected: (v_batch.rows(), region.cols),
+                found: v_batch.shape(),
+            });
         }
-        Ok(out)
+        let sigma = self.config.noise.read_rel_sigma;
+        self.with_snapshot(region, |snap| {
+            // Y = V · Gᵀ, with Gᵀ cached alongside the snapshot.
+            let g_t = snap.g_t.get_or_insert_with(|| snap.g.transpose());
+            let mut out = v_batch.matmul(g_t);
+            if sigma > 0.0 {
+                // var_bi = Σ_j (G_ij·v_bj)² — accumulated term-by-term in
+                // the scalar path's order so the noise scale (and hence the
+                // whole output) stays bit-identical to sequential
+                // `row_currents` calls.
+                for b in 0..out.rows() {
+                    let v = v_batch.row(b);
+                    for i in 0..region.rows {
+                        let mut var = 0.0;
+                        for (j, &gij) in snap.g.row(i).iter().enumerate() {
+                            let term = gij * v[j];
+                            var += term * term;
+                        }
+                        out[(b, i)] += sigma * var.sqrt() * standard_normal(rng);
+                    }
+                }
+            }
+            out
+        })
     }
 
     /// Transposed MVM fast path: drives the region's rows with `v_rows`
@@ -311,25 +496,71 @@ impl CrossbarArray {
                 found: (v_rows.len(), 1),
             });
         }
-        let g = self.effective_conductances(region)?;
         let sigma = self.config.noise.read_rel_sigma;
-        let mut out = Vec::with_capacity(region.cols);
-        for j in 0..region.cols {
-            let mut sum = 0.0;
-            let mut var = 0.0;
-            for i in 0..region.rows {
-                let term = g[(i, j)] * v_rows[i];
-                sum += term;
-                var += term * term;
+        self.with_snapshot(region, |snap| {
+            let g = &snap.g;
+            let mut out = Vec::with_capacity(region.cols);
+            for j in 0..region.cols {
+                let mut sum = 0.0;
+                let mut var = 0.0;
+                for i in 0..region.rows {
+                    let term = g[(i, j)] * v_rows[i];
+                    sum += term;
+                    var += term * term;
+                }
+                let noise =
+                    if sigma > 0.0 { sigma * var.sqrt() * standard_normal(rng) } else { 0.0 };
+                out.push(sum + noise);
             }
-            let noise = if sigma > 0.0 {
-                sigma * var.sqrt() * standard_normal(rng)
-            } else {
-                0.0
-            };
-            out.push(sum + noise);
+            out
+        })
+    }
+
+    /// Batched transposed MVM: every row of `v_batch` is one row-voltage
+    /// drive vector, and row `b` of the output holds the per-column currents
+    /// `I_b = Gᵀ·v_b`. One snapshot read plus one blocked
+    /// `(B×rows)·(rows×cols)` product serves the whole batch; see
+    /// [`row_currents_batch`](Self::row_currents_batch) for the caching and
+    /// noise contract (noise here matches sequential
+    /// [`col_currents`](Self::col_currents) calls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::ShapeMismatch`] if `v_batch.cols() !=
+    /// region.rows` and [`ArrayError::RegionOutOfBounds`] for invalid
+    /// regions.
+    pub fn col_currents_batch<R: Rng + ?Sized>(
+        &self,
+        region: ActiveRegion,
+        v_batch: &Matrix,
+        rng: &mut R,
+    ) -> Result<Matrix, ArrayError> {
+        self.check_region(region)?;
+        if v_batch.cols() != region.rows {
+            return Err(ArrayError::ShapeMismatch {
+                expected: (v_batch.rows(), region.rows),
+                found: v_batch.shape(),
+            });
         }
-        Ok(out)
+        let sigma = self.config.noise.read_rel_sigma;
+        self.with_snapshot(region, |snap| {
+            // Y = V · G (no transpose needed for the column direction).
+            let mut out = v_batch.matmul(&snap.g);
+            if sigma > 0.0 {
+                for b in 0..out.rows() {
+                    let v = v_batch.row(b);
+                    for j in 0..region.cols {
+                        let mut var = 0.0;
+                        for i in 0..region.rows {
+                            let term = snap.g[(i, j)] * v[i];
+                            var += term * term;
+                        }
+                        out[(b, j)] += sigma * var.sqrt() * standard_normal(rng);
+                    }
+                }
+            }
+            out
+        })
     }
 
     /// Directly programs a region to the given target conductances (in
@@ -360,6 +591,7 @@ impl CrossbarArray {
                 found: targets.shape(),
             });
         }
+        self.invalidate_cache();
         for i in 0..region.rows {
             for j in 0..region.cols {
                 let mut g = targets[(i, j)];
@@ -367,7 +599,10 @@ impl CrossbarArray {
                     g += sigma_levels * quantizer.step() * standard_normal(rng);
                 }
                 let g = g.clamp(quantizer.g_min(), quantizer.g_max());
-                self.cell_mut(region.row0 + i, region.col0 + j).program_conductance(g);
+                // Direct cell indexing: `cell_mut` would re-invalidate (and
+                // re-bump the generation) once per cell.
+                let idx = (region.row0 + i) * self.config.cols + (region.col0 + j);
+                self.cells[idx].program_conductance(g);
             }
         }
         Ok(())
@@ -506,6 +741,124 @@ mod tests {
         let g = xbar.effective_conductances(region).unwrap();
         assert!(g[(0, 0)] > g[(3, 3)], "IR drop should penalize far cells");
         assert!((g[(0, 0)] - 50.0 * MICRO_SIEMENS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_row_currents_bit_identical_to_single_loop() {
+        // With read noise ON: the batch draws per output in batch-major
+        // order, so one batched call must reproduce a loop of single calls
+        // against the same seeded RNG, bit for bit.
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut cfg = ArrayConfig::ideal(6, 5);
+        cfg.noise.read_rel_sigma = 0.03;
+        let mut xbar = CrossbarArray::new(cfg, &mut rng);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(6, 5);
+        let targets = Matrix::from_fn(6, 5, |i, j| q.conductance_of((3 * i + j) % 16));
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+
+        let batch = Matrix::from_fn(7, 5, |b, j| ((b * 5 + j) as f64 * 0.13).sin() * 0.2);
+        let mut rng_batch = StdRng::seed_from_u64(99);
+        let ys = xbar.row_currents_batch(region, &batch, &mut rng_batch).unwrap();
+        let mut rng_loop = StdRng::seed_from_u64(99);
+        for b in 0..batch.rows() {
+            let y = xbar.row_currents(region, batch.row(b), &mut rng_loop).unwrap();
+            for (i, yi) in y.iter().enumerate() {
+                assert!(
+                    ys[(b, i)].to_bits() == yi.to_bits(),
+                    "batch row {b} output {i}: {} vs {yi}",
+                    ys[(b, i)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_col_currents_bit_identical_to_single_loop() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut cfg = ArrayConfig::ideal(4, 6);
+        cfg.noise.read_rel_sigma = 0.05;
+        let mut xbar = CrossbarArray::new(cfg, &mut rng);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(4, 6);
+        let targets = Matrix::from_fn(4, 6, |i, j| q.conductance_of((i + 5 * j) % 16));
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+
+        let batch = Matrix::from_fn(5, 4, |b, i| ((b + i) as f64 * 0.21).cos() * 0.15);
+        let mut rng_batch = StdRng::seed_from_u64(7);
+        let ys = xbar.col_currents_batch(region, &batch, &mut rng_batch).unwrap();
+        let mut rng_loop = StdRng::seed_from_u64(7);
+        for b in 0..batch.rows() {
+            let y = xbar.col_currents(region, batch.row(b), &mut rng_loop).unwrap();
+            for (j, yj) in y.iter().enumerate() {
+                assert!(
+                    ys[(b, j)].to_bits() == yj.to_bits(),
+                    "batch row {b} output {j}: {} vs {yj}",
+                    ys[(b, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_is_invalidated_by_program_direct() {
+        // Stale-cache regression: read (populating the cache), reprogram,
+        // read again — the second read must see the new conductances.
+        let (mut xbar, mut rng) = ideal_array(3, 3, 42);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(3, 3);
+        let first = Matrix::filled(3, 3, 20.0 * MICRO_SIEMENS);
+        xbar.program_direct(region, &first, &q, 0.0, &mut rng).unwrap();
+        let gen0 = xbar.generation();
+        let g1 = xbar.effective_conductances(region).unwrap();
+        assert!(g1.approx_eq(&first, 1e-12));
+        // Warm the snapshot again, then mutate.
+        let _ = xbar.row_currents(region, &[0.1, 0.1, 0.1], &mut rng).unwrap();
+        let second = Matrix::filled(3, 3, 80.0 * MICRO_SIEMENS);
+        xbar.program_direct(region, &second, &q, 0.0, &mut rng).unwrap();
+        assert!(xbar.generation() > gen0, "generation must advance on programming");
+        let g2 = xbar.effective_conductances(region).unwrap();
+        assert!(g2.approx_eq(&second, 1e-12), "stale cache served after program_direct");
+        let i = xbar.row_currents(region, &[1.0, 0.0, 0.0], &mut rng).unwrap();
+        assert!((i[0] - 80.0 * MICRO_SIEMENS).abs() < 1e-12, "stale current {i:?}");
+    }
+
+    #[test]
+    fn cache_is_invalidated_by_cell_mut() {
+        let (mut xbar, mut rng) = ideal_array(2, 2, 43);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(2, 2);
+        let targets = Matrix::filled(2, 2, 10.0 * MICRO_SIEMENS);
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+        let _warm = xbar.effective_conductances(region).unwrap();
+        let gen0 = xbar.generation();
+        xbar.cell_mut(0, 0).program_conductance(90.0 * MICRO_SIEMENS);
+        assert!(xbar.generation() > gen0);
+        let g = xbar.effective_conductances(region).unwrap();
+        assert!((g[(0, 0)] - 90.0 * MICRO_SIEMENS).abs() < 1e-12, "stale cache after cell_mut");
+    }
+
+    #[test]
+    fn cached_reads_match_uncached_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut cfg = ArrayConfig::ideal(5, 4);
+        cfg.wire_resistance = 250.0; // exercise the IR-drop branch too
+        let mut xbar = CrossbarArray::new(cfg, &mut rng);
+        let q = LevelQuantizer::paper_default();
+        let region = ActiveRegion::full(5, 4);
+        let targets = Matrix::from_fn(5, 4, |i, j| q.conductance_of((2 * i + j) % 16));
+        xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+        let cached1 = xbar.effective_conductances(region).unwrap();
+        let cached2 = xbar.effective_conductances(region).unwrap();
+        let uncached = xbar.effective_conductances_uncached(region).unwrap();
+        assert_eq!(cached1, cached2);
+        assert_eq!(cached1, uncached);
+        // Sub-regions get their own snapshots and stay consistent.
+        let sub = ActiveRegion { row0: 1, col0: 1, rows: 3, cols: 2 };
+        assert_eq!(
+            xbar.effective_conductances(sub).unwrap(),
+            xbar.effective_conductances_uncached(sub).unwrap()
+        );
     }
 
     #[test]

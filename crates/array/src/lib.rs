@@ -14,6 +14,34 @@
 //! * [`ConductanceMapper`] / [`BitSlicedMatrix`] — signed 4-bit and sliced
 //!   8-bit matrix encodings with current decoders.
 //!
+//! # Conductance cache and the batched fast path
+//!
+//! A crosspoint array performs an MVM in a single analog step; what costs
+//! the *simulator* is reconstructing the effective-conductance matrix from
+//! the per-cell compact models. [`CrossbarArray`] therefore keeps a
+//! **generation-tagged snapshot cache** with a strict invalidation
+//! contract:
+//!
+//! * **Reads are cached.** [`CrossbarArray::effective_conductances`],
+//!   [`CrossbarArray::row_currents`] / [`CrossbarArray::col_currents`] and
+//!   the batched [`CrossbarArray::row_currents_batch`] /
+//!   [`CrossbarArray::col_currents_batch`] all serve from a per-region
+//!   snapshot, rebuilding it only on the first read after a mutation.
+//! * **Mutations invalidate.** [`CrossbarArray::program_direct`] and every
+//!   [`CrossbarArray::cell_mut`] borrow (the write-verify controller's
+//!   entry point) bump [`CrossbarArray::generation`] and drop all
+//!   snapshots. External controllers driving cells through other means
+//!   must call [`CrossbarArray::invalidate_cache`] themselves.
+//! * **Noisy reads stay fresh.** [`CrossbarArray::conductances`] models an
+//!   ADC sample with per-cell read noise and is never cached.
+//!
+//! The batched entry points take a `Matrix` whose rows are drive vectors,
+//! amortize one snapshot (plus one transpose) over the whole batch, and
+//! run the products through `gramc_linalg`'s blocked matmul. Their outputs
+//! are bit-identical to looping the scalar calls with the same RNG — the
+//! regression tests in `crossbar.rs` pin both properties (bit-equality and
+//! stale-cache invalidation).
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +70,6 @@ pub use crossbar::{ActiveRegion, ArrayConfig, CrossbarArray, PAPER_ARRAY_SIZE};
 pub use error::ArrayError;
 pub use mapping::{BitSlicedMatrix, ConductanceMapper, LevelMatrix, MappedMatrix, SignedEncoding};
 pub use write_verify::{
-    reset_staircase, set_staircase, CellReport, ProgramReport, StaircasePoint,
-    WriteVerifyConfig, WriteVerifyController,
+    reset_staircase, set_staircase, CellReport, ProgramReport, StaircasePoint, WriteVerifyConfig,
+    WriteVerifyController,
 };

@@ -280,8 +280,12 @@ impl BitSlicedMatrix {
         }
         let scale = a_max / 255.0;
         let n = rows * cols;
-        let (mut hp, mut hn, mut lp, mut ln_) =
-            (Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n), Vec::with_capacity(n));
+        let (mut hp, mut hn, mut lp, mut ln_) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
         for i in 0..rows {
             for j in 0..cols {
                 let v = a[(i, j)];
@@ -390,9 +394,7 @@ mod tests {
         let mut rng = seeded_rng(33);
         let a = gaussian_matrix(&mut rng, 12, 12);
         let q = LevelQuantizer::paper_default();
-        let d = ConductanceMapper::new(q.clone(), SignedEncoding::Differential)
-            .map(&a)
-            .unwrap();
+        let d = ConductanceMapper::new(q.clone(), SignedEncoding::Differential).map(&a).unwrap();
         let o = ConductanceMapper::new(q, SignedEncoding::Offset).map(&a).unwrap();
         let err_d = (&d.dequantize() - &a).fro_norm();
         let err_o = (&o.dequantize() - &a).fro_norm();

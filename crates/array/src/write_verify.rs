@@ -465,8 +465,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(28);
         let wv = WriteVerifyController::paper_default();
         let mut cell = quiet_cell();
-        let pts =
-            set_staircase(&mut cell, wv.config(), wv.quantizer(), 0.02, 0, 30, &mut rng);
+        let pts = set_staircase(&mut cell, wv.config(), wv.quantizer(), 0.02, 0, 30, &mut rng);
         assert_eq!(pts.len(), 30);
         for w in pts.windows(2) {
             assert!(w[1].1 >= w[0].1 - 0.3, "staircase dipped: {:?}", w);

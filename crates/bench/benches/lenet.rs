@@ -1,14 +1,17 @@
 //! Timing analog LeNet-5 inference (Fig. 5's pipeline): images per second
 //! through the INT4 and INT8 paths.
+//!
+//! ```sh
+//! cargo bench -p gramc-bench --bench lenet
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gramc_bench::timing::Reporter;
 use gramc_core::MacroConfig;
 use gramc_data::DigitsDataset;
 use gramc_linalg::random::seeded_rng;
 use gramc_nn::{GramcLenet, LeNet5, Precision, Tensor3};
-use std::time::Duration;
 
-fn bench_lenet(c: &mut Criterion) {
+fn main() {
     let mut rng = seeded_rng(20);
     let ds = DigitsDataset::generate(&mut rng, 64, 16);
     let train: Vec<Tensor3> =
@@ -20,27 +23,16 @@ fn bench_lenet(c: &mut Criterion) {
     }
     let batch: Vec<Tensor3> = train[..8].to_vec();
 
-    let mut group = c.benchmark_group("lenet");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
-    group.bench_function("software_forward_8img", |b| {
-        b.iter(|| {
-            for img in &batch {
-                let _ = net.forward(img);
-            }
-        });
+    let mut r = Reporter::new();
+    r.bench("software_forward_8img", || {
+        for img in &batch {
+            let _ = net.forward(img);
+        }
     });
     let mut int4 =
         GramcLenet::new(net.clone(), Precision::Int4, MacroConfig::default(), 16, 21).unwrap();
-    group.bench_function("analog_int4_8img", |b| {
-        b.iter(|| int4.logits_batch(&batch).unwrap());
-    });
+    r.bench("analog_int4_8img", || int4.logits_batch(&batch).unwrap());
     let mut int8 =
         GramcLenet::new(net.clone(), Precision::Int8, MacroConfig::default(), 16, 22).unwrap();
-    group.bench_function("analog_int8_8img", |b| {
-        b.iter(|| int8.logits_batch(&batch).unwrap());
-    });
-    group.finish();
+    r.bench("analog_int8_8img", || int8.logits_batch(&batch).unwrap());
 }
-
-criterion_group!(benches, bench_lenet);
-criterion_main!(benches);

@@ -1,32 +1,22 @@
 //! Timing the digital baseline kernels (the "numerical results from Python"
 //! stand-ins) at the paper's 128 dimension.
+//!
+//! ```sh
+//! cargo bench -p gramc-bench --bench linalg_kernels
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gramc_bench::timing::Reporter;
 use gramc_linalg::{lu, pseudoinverse, random, SymmetricEigen};
-use std::time::Duration;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linalg_128");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
     let mut rng = random::seeded_rng(40);
     let a = random::wishart(&mut rng, 128, 256);
     let tall = random::gaussian_matrix(&mut rng, 128, 6);
     let b = random::normal_vector(&mut rng, 128);
 
-    group.bench_function("lu_solve_128", |bch| {
-        bch.iter(|| lu::solve(&a, &b).unwrap());
-    });
-    group.bench_function("inverse_128", |bch| {
-        bch.iter(|| lu::inverse(&a).unwrap());
-    });
-    group.bench_function("pinv_128x6", |bch| {
-        bch.iter(|| pseudoinverse(&tall).unwrap());
-    });
-    group.bench_function("eigen_128", |bch| {
-        bch.iter(|| SymmetricEigen::new(&a).unwrap());
-    });
-    group.finish();
+    let mut r = Reporter::new();
+    r.bench("lu_solve_128", || lu::solve(&a, &b).unwrap());
+    r.bench("inverse_128", || lu::inverse(&a).unwrap());
+    r.bench("pinv_128x6", || pseudoinverse(&tall).unwrap());
+    r.bench("eigen_128", || SymmetricEigen::new(&a).unwrap());
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,11 +1,14 @@
 //! Analog-vs-digital scaling (EXPERIMENTS.md E8): measured MNA solve cost of
 //! the INV circuit (the *simulation* cost) against the measured digital LU,
 //! alongside the analytical hardware cost model.
+//!
+//! ```sh
+//! cargo bench -p gramc-bench --bench scaling
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gramc_bench::timing::Reporter;
 use gramc_circuit::{dc_solve, topology, OpampModel};
 use gramc_linalg::{lu, random, Matrix};
-use std::time::Duration;
 
 fn split(a: &Matrix, unit: f64) -> (Matrix, Matrix) {
     let floor = 1e-6;
@@ -15,27 +18,18 @@ fn split(a: &Matrix, unit: f64) -> (Matrix, Matrix) {
     )
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
+    let mut r = Reporter::new();
     for n in [8usize, 16, 32, 64] {
         let mut rng = random::seeded_rng(30);
         let a = random::spd_with_condition(&mut rng, n, 5.0);
         let b: Vec<f64> = random::normal_vector(&mut rng, n);
-        group.bench_with_input(BenchmarkId::new("digital_lu", n), &n, |bch, _| {
-            bch.iter(|| lu::solve(&a, &b).unwrap());
-        });
+        r.bench(&format!("digital_lu_{n}"), || lu::solve(&a, &b).unwrap());
         let (gp, gn) = split(&a, 50e-6);
         let i_in: Vec<f64> = b.iter().map(|bi| -50e-6 * bi * 0.1).collect();
-        group.bench_with_input(BenchmarkId::new("inv_circuit_mna", n), &n, |bch, _| {
-            bch.iter(|| {
-                let t = topology::build_inv(&gp, &gn, &i_in, OpampModel::with_gain(1e4)).unwrap();
-                dc_solve(&t.circuit).unwrap()
-            });
+        r.bench(&format!("inv_circuit_mna_{n}"), || {
+            let t = topology::build_inv(&gp, &gn, &i_in, OpampModel::with_gain(1e4)).unwrap();
+            dc_solve(&t.circuit).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -1,15 +1,17 @@
 //! Timing the four analog computing modes (the red path of Fig. 3) at
 //! several array sizes — the simulation cost behind Fig. 4.
+//!
+//! ```sh
+//! cargo bench -p gramc-bench --bench solvers
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gramc_bench::timing::Reporter;
 use gramc_core::{MacroConfig, MacroGroup};
 use gramc_data::spiked_gram;
 use gramc_linalg::random;
-use std::time::Duration;
 
-fn bench_modes(c: &mut Criterion) {
-    let mut group_b = c.benchmark_group("analog_modes");
-    group_b.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
+    let mut r = Reporter::new();
     for n in [16usize, 32, 64] {
         let mut rng = random::seeded_rng(10);
         let a = random::wishart(&mut rng, n, 16 * n);
@@ -20,18 +22,8 @@ fn bench_modes(c: &mut Criterion) {
         let op = group.load_matrix(&a).unwrap();
         let op_g = group.load_matrix(&gram).unwrap();
 
-        group_b.bench_with_input(BenchmarkId::new("mvm", n), &n, |b, _| {
-            b.iter(|| group.mvm(op, &x).unwrap());
-        });
-        group_b.bench_with_input(BenchmarkId::new("inv_mna", n), &n, |b, _| {
-            b.iter(|| group.solve_inv(op, &x).unwrap());
-        });
-        group_b.bench_with_input(BenchmarkId::new("egv", n), &n, |b, _| {
-            b.iter(|| group.solve_egv(op_g).unwrap());
-        });
+        r.bench(&format!("mvm_{n}"), || group.mvm(op, &x).unwrap());
+        r.bench(&format!("inv_mna_{n}"), || group.solve_inv(op, &x).unwrap());
+        r.bench(&format!("egv_{n}"), || group.solve_egv(op_g).unwrap());
     }
-    group_b.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

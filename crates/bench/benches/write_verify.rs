@@ -1,37 +1,30 @@
 //! Timing the write-verify machinery (the blue path of Fig. 3): per-cell
 //! program-and-verify and the Fig. 1 staircase sweeps.
+//!
+//! ```sh
+//! cargo bench -p gramc-bench --bench write_verify
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gramc_array::{set_staircase, WriteVerifyController};
+use gramc_bench::timing::Reporter;
 use gramc_device::{CellNoise, DeviceParams, Nmos, OneTOneR};
 use gramc_linalg::random::seeded_rng;
-use std::time::Duration;
 
-fn bench_program_cell(c: &mut Criterion) {
-    let mut group = c.benchmark_group("write_verify");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
+    let mut r = Reporter::new();
     let wv = WriteVerifyController::paper_default();
     for target in [3usize, 8, 15] {
-        group.bench_with_input(BenchmarkId::new("program_cell_level", target), &target, |b, &t| {
-            let mut rng = seeded_rng(1);
-            b.iter(|| {
-                let mut cell =
-                    OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::default());
-                wv.program_cell(&mut cell, t, &mut rng).unwrap()
-            });
-        });
-    }
-    group.bench_function("fig1b_set_staircase_30p", |b| {
-        let wv = WriteVerifyController::paper_default();
-        let mut rng = seeded_rng(2);
-        b.iter(|| {
+        let mut rng = seeded_rng(1);
+        r.bench(&format!("program_cell_level_{target}"), || {
             let mut cell =
                 OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::default());
-            set_staircase(&mut cell, wv.config(), wv.quantizer(), 0.02, 0, 30, &mut rng)
+            wv.program_cell(&mut cell, target, &mut rng).unwrap()
         });
+    }
+    let mut rng = seeded_rng(2);
+    r.bench("fig1b_set_staircase_30p", || {
+        let mut cell =
+            OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::default());
+        set_staircase(&mut cell, wv.config(), wv.quantizer(), 0.02, 0, 30, &mut rng)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_program_cell);
-criterion_main!(benches);

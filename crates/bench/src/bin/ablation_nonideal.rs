@@ -20,7 +20,8 @@ fn mvm_error(cfg: NonidealityConfig, seed: u64) -> f64 {
     let mut rng = random::seeded_rng(seed);
     let a = random::wishart(&mut rng, N, 16 * N);
     let x = random::normal_vector(&mut rng, N);
-    let config = MacroConfig { array_rows: N, array_cols: N, nonideal: cfg, ..MacroConfig::default() };
+    let config =
+        MacroConfig { array_rows: N, array_cols: N, nonideal: cfg, ..MacroConfig::default() };
     let mut group = MacroGroup::new(2, config, seed + 1);
     let op = group.load_matrix(&a).expect("load");
     let y = group.mvm(op, &x).expect("mvm");
@@ -49,8 +50,7 @@ fn main() {
     println!("\n# Ablation 2: MVM error vs read noise (4-bit weights)");
     println!("{:>8} {:>12}", "σ_G/G %", "rel.err %");
     for noise in [0.0, 0.005, 0.01, 0.02, 0.05] {
-        let cfg =
-            NonidealityConfig { read_noise_rel: noise, ..NonidealityConfig::paper_default() };
+        let cfg = NonidealityConfig { read_noise_rel: noise, ..NonidealityConfig::paper_default() };
         println!("{:>8.1} {:>12.2}", 100.0 * noise, 100.0 * mvm_error(cfg, 61));
     }
 

@@ -1,0 +1,132 @@
+//! Kernel perf baseline: times the hot paths the batched execution engine
+//! optimized — matmul (naive / blocked / blocked+threads), multi-RHS LU
+//! substitution, cached vs uncached crossbar MVM, batched vs scalar analog
+//! MVM, and DC-operator reuse — and writes the results to the repo-root
+//! `BENCH_kernels.json` so future PRs can track speedups.
+//!
+//! ```sh
+//! cargo run -p gramc-bench --release --bin bench_kernels [-- output.json]
+//! ```
+
+use gramc_array::{ActiveRegion, ArrayConfig, CrossbarArray};
+use gramc_bench::timing::{to_json, Reporter};
+use gramc_circuit::{dc_solve, topology, DcOperator, OpampModel};
+use gramc_core::{MacroConfig, MacroGroup};
+use gramc_device::LevelQuantizer;
+use gramc_linalg::{random, LuDecomposition, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let mut r = Reporter::new();
+
+    // ── matmul: naive reference vs blocked kernel at the paper dimension
+    //    and at 512 (the acceptance size for the ≥2× criterion).
+    let mut rng = random::seeded_rng(1);
+    for n in [128usize, 512] {
+        let a = random::gaussian_matrix(&mut rng, n, n);
+        let b = random::gaussian_matrix(&mut rng, n, n);
+        r.bench(&format!("matmul_naive_{n}"), || a.matmul_reference(&b));
+        r.bench(&format!("matmul_{n}"), || a.matmul(&b));
+    }
+
+    // ── multi-RHS LU: per-column solve loop vs in-place solve_matrix.
+    let a = random::spd_with_condition(&mut rng, 128, 10.0);
+    let lu = LuDecomposition::new(&a).unwrap();
+    let rhs = random::gaussian_matrix(&mut rng, 128, 64);
+    r.bench("lu_solve_loop_128x64", || {
+        let mut x = Matrix::zeros(128, 64);
+        for j in 0..64 {
+            let col = lu.solve(&rhs.col(j)).unwrap();
+            for i in 0..128 {
+                x[(i, j)] = col[i];
+            }
+        }
+        x
+    });
+    r.bench("lu_solve_matrix_128x64", || lu.solve_matrix(&rhs).unwrap());
+
+    // ── crossbar MVM at 128×128: per-call reconstruction (the pre-cache
+    //    path every read used to pay) vs the cached snapshot, and the
+    //    batched API amortizing one snapshot over a whole batch.
+    let mut arr_rng = StdRng::seed_from_u64(2);
+    let mut xbar = CrossbarArray::new(ArrayConfig::ideal(128, 128), &mut arr_rng);
+    let q = LevelQuantizer::paper_default();
+    let region = ActiveRegion::full(128, 128);
+    let targets = Matrix::from_fn(128, 128, |i, j| q.conductance_of((i * 7 + j) % 16));
+    xbar.program_direct(region, &targets, &q, 0.0, &mut arr_rng).unwrap();
+    let v: Vec<f64> = (0..128).map(|j| ((j as f64) * 0.21).sin() * 0.2).collect();
+    let batch = Matrix::from_fn(64, 128, |b, j| ((b * 128 + j) as f64 * 0.13).sin() * 0.2);
+
+    r.bench("mvm_uncached_128", || {
+        // What row_currents cost before the cache: rebuild G, then multiply.
+        let g = xbar.effective_conductances_uncached(region).unwrap();
+        g.matvec(&v)
+    });
+    r.bench("mvm_cached_128", || xbar.row_currents(region, &v, &mut arr_rng).unwrap());
+    let uncached_per_mvm = r.mean_ms("mvm_uncached_128");
+    let s = r.bench("mvm_batched_64x128", || {
+        xbar.row_currents_batch(region, &batch, &mut arr_rng).unwrap()
+    });
+    let batched_per_mvm = s.mean_ms() / 64.0;
+
+    // ── analog macro: scalar mvm loop vs mvm_batch at the paper dimension.
+    let mut group = MacroGroup::new(2, MacroConfig::small_ideal(64), 3);
+    let mut rng2 = random::seeded_rng(4);
+    let a64 = random::gaussian_matrix(&mut rng2, 64, 64);
+    let op = group.load_matrix(&a64).unwrap();
+    let xs: Vec<Vec<f64>> = (0..32).map(|_| random::normal_vector(&mut rng2, 64)).collect();
+    r.bench("macro_mvm_loop_32x64", || {
+        xs.iter().map(|x| group.mvm(op, x).unwrap()).collect::<Vec<_>>()
+    });
+    r.bench("macro_mvm_batch_32x64", || group.mvm_batch(op, &xs).unwrap());
+
+    // ── DC operator: fresh factorization per excitation vs factor-once.
+    let mut rng3 = random::seeded_rng(5);
+    let a32 = random::spd_with_condition(&mut rng3, 32, 5.0);
+    let floor = 1e-6;
+    let unit = 50e-6;
+    let g_pos = a32.map(|x| if x > 0.0 { x * unit + floor } else { floor });
+    let g_neg = a32.map(|x| if x < 0.0 { -x * unit + floor } else { floor });
+    let b32 = random::normal_vector(&mut rng3, 32);
+    let i_in: Vec<f64> = b32.iter().map(|bi| -unit * bi * 0.1).collect();
+    r.bench("dc_solve_fresh_inv32", || {
+        let t = topology::build_inv(&g_pos, &g_neg, &i_in, OpampModel::with_gain(1e4)).unwrap();
+        dc_solve(&t.circuit).unwrap()
+    });
+    let mut topo = topology::build_inv(&g_pos, &g_neg, &i_in, OpampModel::with_gain(1e4)).unwrap();
+    let dc_op = DcOperator::new(&topo.circuit).unwrap();
+    let mut scale = 1.0;
+    r.bench("dc_solve_operator_inv32", || {
+        // Vary the excitation so the solve is not degenerate between iters.
+        scale = if scale > 4.0 { 1.0 } else { scale * 1.01 };
+        for (&src, &i) in topo.input_sources.iter().zip(&i_in) {
+            topo.circuit.set_current(src, i * scale);
+        }
+        dc_op.solve_circuit(&topo.circuit).unwrap()
+    });
+
+    // ── summary + JSON report.
+    let matmul_speedup = r.mean_ms("matmul_naive_512") / r.mean_ms("matmul_512");
+    let batch_speedup = uncached_per_mvm / batched_per_mvm;
+    println!();
+    println!("matmul 512: blocked is {matmul_speedup:.1}x the naive baseline");
+    println!(
+        "batched MVM 128: {batch_speedup:.1}x the per-call reconstruction path \
+         ({uncached_per_mvm:.3} ms -> {batched_per_mvm:.4} ms per MVM)"
+    );
+
+    let meta = [
+        ("bench", "bench_kernels".to_string()),
+        ("dim_matmul", "512".to_string()),
+        ("dim_array", "128".to_string()),
+        ("threads", gramc_linalg::parallel::max_threads().to_string()),
+        ("parallel_feature", gramc_linalg::parallel::feature_enabled().to_string()),
+        ("matmul_512_speedup_vs_naive", format!("{matmul_speedup:.3}")),
+        ("batched_mvm_128_speedup_vs_uncached", format!("{batch_speedup:.3}")),
+    ];
+    let json = to_json(&meta, r.samples());
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

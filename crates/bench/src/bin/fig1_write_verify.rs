@@ -20,7 +20,10 @@ fn main() {
     let pulses = 30;
 
     println!("# Fig. 1(b): SET staircase — level vs pulse number (30 ns pulses)");
-    println!("{:>6} {:>18} {:>18} {:>22}", "pulse", "Vg_step=0.01V", "Vg_step=0.02V", "Vg_step=0.02V (init 3)");
+    println!(
+        "{:>6} {:>18} {:>18} {:>22}",
+        "pulse", "Vg_step=0.01V", "Vg_step=0.02V", "Vg_step=0.02V (init 3)"
+    );
     let mut cell_a = OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::default());
     let s_001 = set_staircase(&mut cell_a, wv.config(), wv.quantizer(), 0.01, 0, pulses, &mut rng);
     let mut cell_b = OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::default());
@@ -46,9 +49,11 @@ fn main() {
     println!("# Fig. 1(c): RESET staircase — level vs pulse number (from level 15)");
     println!("{:>6} {:>18} {:>18}", "pulse", "Vsl_step=0.02V", "Vsl_step=0.03V");
     let mut cell_d = OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::default());
-    let r_002 = reset_staircase(&mut cell_d, wv.config(), wv.quantizer(), 0.02, 15, pulses, &mut rng);
+    let r_002 =
+        reset_staircase(&mut cell_d, wv.config(), wv.quantizer(), 0.02, 15, pulses, &mut rng);
     let mut cell_e = OneTOneR::new(DeviceParams::default(), Nmos::default(), CellNoise::default());
-    let r_003 = reset_staircase(&mut cell_e, wv.config(), wv.quantizer(), 0.03, 15, pulses, &mut rng);
+    let r_003 =
+        reset_staircase(&mut cell_e, wv.config(), wv.quantizer(), 0.03, 15, pulses, &mut rng);
     for i in 0..pulses {
         println!(
             "{:>6} {:>18.2} {:>18.2}",
@@ -59,12 +64,8 @@ fn main() {
     }
 
     // Shape checks the paper's figure exhibits.
-    let cross15 = |s: &[(usize, f64)]| {
-        s.iter().find(|(_, l)| *l >= 15.0).map(|(p, _)| *p)
-    };
-    let cross0 = |s: &[(usize, f64)]| {
-        s.iter().find(|(_, l)| *l <= 0.5).map(|(p, _)| *p)
-    };
+    let cross15 = |s: &[(usize, f64)]| s.iter().find(|(_, l)| *l >= 15.0).map(|(p, _)| *p);
+    let cross0 = |s: &[(usize, f64)]| s.iter().find(|(_, l)| *l <= 0.5).map(|(p, _)| *p);
     println!();
     println!("# Shape summary");
     match cross15(&s_002) {
@@ -80,7 +81,9 @@ fn main() {
         None => println!("RESET 0.03 V/step bottoms at {:.1}", r_003.last().unwrap().1),
     }
     match cross0(&r_002) {
-        Some(p) => println!("RESET 0.02 V/step reaches level 0 at pulse {p} (slower, as in the paper)"),
+        Some(p) => {
+            println!("RESET 0.02 V/step reaches level 0 at pulse {p} (slower, as in the paper)")
+        }
         None => println!("RESET 0.02 V/step bottoms at {:.1}", r_002.last().unwrap().1.max(0.0)),
     }
 

@@ -38,7 +38,10 @@ fn main() {
     let y_analog = group.mvm(op, &x_in).expect("mvm");
     let y_ideal = wishart.matvec(&x_in);
     // The paper normalizes axes to the read voltage scale; report raw.
-    println!("{}", format_scatter("Fig. 4(a) MVM — 128×128 Wishart, 4-bit", &y_ideal, &y_analog, rows_shown));
+    println!(
+        "{}",
+        format_scatter("Fig. 4(a) MVM — 128×128 Wishart, 4-bit", &y_ideal, &y_analog, rows_shown)
+    );
     println!("scatter correlation: {:.4}\n", correlation(&y_ideal, &y_analog));
 
     // ---------------- Fig. 4(b): INV on the same Wishart ------------------
@@ -54,7 +57,12 @@ fn main() {
     let x_full = lu::solve(&wishart, &b).expect("lu");
     println!(
         "{}",
-        format_scatter("Fig. 4(b) INV — 128×128 Wishart, 4-bit (vs quantized Â)", &x_ideal, &x_analog, rows_shown)
+        format_scatter(
+            "Fig. 4(b) INV — 128×128 Wishart, 4-bit (vs quantized Â)",
+            &x_ideal,
+            &x_analog,
+            rows_shown
+        )
     );
     println!("scatter correlation: {:.4}", correlation(&x_ideal, &x_analog));
     println!(
@@ -71,7 +79,12 @@ fn main() {
     let w_ideal = pseudoinverse(&ds.design).expect("svd").matvec(&ds.response);
     println!(
         "{}",
-        format_scatter("Fig. 4(c) PINV — PM2.5 regression (128×6), 4-bit", &w_ideal, &w_analog, rows_shown)
+        format_scatter(
+            "Fig. 4(c) PINV — PM2.5 regression (128×6), 4-bit",
+            &w_ideal,
+            &w_analog,
+            rows_shown
+        )
     );
     println!("scatter correlation: {:.4}\n", correlation(&w_ideal, &w_analog));
     group.free_operator(op_p).expect("free");

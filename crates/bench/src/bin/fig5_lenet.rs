@@ -39,7 +39,7 @@ fn main() {
     let mut best = net.clone();
     let mut best_acc = 0.0;
     for epoch in 0..epochs {
-        let lr = 0.002 * 0.75_f64.powi(epoch as i32);
+        let lr = 0.002 * 0.75_f64.powi(epoch);
         let stats = net.train_epoch(&train, &train_labels, lr, 0.9);
         eprintln!("  epoch {epoch}: loss {:.4}, acc {:.3}", stats.loss, stats.accuracy);
         if stats.accuracy > best_acc {
@@ -57,8 +57,8 @@ fn main() {
     let acc8 = int8.evaluate(&test, &test_labels).expect("int8 eval");
 
     eprintln!("running INT4 analog inference ({n_test} images)…");
-    let mut int4 = GramcLenet::new(net, Precision::Int4, MacroConfig::default(), 16, 57)
-        .expect("backend");
+    let mut int4 =
+        GramcLenet::new(net, Precision::Int4, MacroConfig::default(), 16, 57).expect("backend");
     let acc4 = int4.evaluate(&test, &test_labels).expect("int4 eval");
 
     println!("# Fig. 5: LeNet-5 accuracy (synthetic digits, {n_test} test images)");

@@ -10,10 +10,14 @@
 //! * `ablation_nonideal` — per-error-source sensitivity sweeps,
 //! * `scaling_model` — analog-vs-digital latency/energy model (supplemental).
 //!
-//! Criterion benches (`cargo bench -p gramc-bench`) time the simulator
-//! kernels behind each experiment.
+//! Kernel timers (`cargo bench -p gramc-bench`) are plain `harness = false`
+//! binaries built on [`timing`] (criterion is unavailable offline); the
+//! `bench_kernels` binary additionally writes the repo-root
+//! `BENCH_kernels.json` perf baseline consumed by future PRs.
 
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use gramc_linalg::vector;
 

@@ -43,111 +43,304 @@ impl DcSolution {
     }
 }
 
-/// Solves the DC operating point of `circuit`.
+/// How op-amps are stamped into the MNA matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpampStamping {
+    /// Behavioural constraint rows (ideal / finite-gain DC model).
+    Behavioural,
+    /// Outputs pinned to externally supplied state values (the transient
+    /// engine's algebraic network, where op-amp outputs are integrator
+    /// states and act as voltage sources).
+    PinnedOutputs,
+}
+
+/// A pre-assembled, pre-factored MNA operator.
+///
+/// Assembling the nodal matrix and LU-factoring it is O(n²)+O(n³); the
+/// right-hand side is O(n). Workloads that solve the *same* resistive
+/// network under many excitations — the macro auto-ranging loops, the
+/// transient integrator, repeated reads in write-verify — should factor
+/// once with [`DcOperator::new`] and then call
+/// [`solve_circuit`](Self::solve_circuit) (or the raw RHS entry points) per
+/// excitation. [`dc_solve`] remains the one-shot convenience wrapper.
+///
+/// The factorization captures the circuit *topology and element values that
+/// enter the matrix*: conductances, source/op-amp connectivity and op-amp
+/// gains. Source **values** (voltage/current) and op-amp offsets only enter
+/// the RHS, so they may change freely between solves (via
+/// [`Circuit::set_voltage`] / [`Circuit::set_current`]).
+#[derive(Debug, Clone)]
+pub struct DcOperator {
+    /// `None` for the empty circuit (trivial solution).
+    lu: Option<LuDecomposition>,
+    nv: usize,
+    nvs: usize,
+    nop: usize,
+    stamping: OpampStamping,
+}
+
+/// Map node -> MNA row/col (ground has none).
+fn idx(n: Node) -> Option<usize> {
+    if n.index() == 0 {
+        None
+    } else {
+        Some(n.index() - 1)
+    }
+}
+
+impl DcOperator {
+    /// Assembles and factors the MNA matrix of `circuit` with behavioural
+    /// op-amp rows (the [`dc_solve`] semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularSystem`] for floating nodes or ill-posed
+    /// feedback (e.g. an op-amp whose inputs are not connected to anything).
+    pub fn new(circuit: &Circuit) -> Result<Self, CircuitError> {
+        Self::build(circuit, OpampStamping::Behavioural)
+    }
+
+    /// Assembles and factors with op-amp outputs pinned to state values
+    /// (the transient engine's algebraic network). RHS op-amp rows carry
+    /// the states; see [`solve_states`](Self::solve_states).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn new_pinned_outputs(circuit: &Circuit) -> Result<Self, CircuitError> {
+        Self::build(circuit, OpampStamping::PinnedOutputs)
+    }
+
+    fn build(circuit: &Circuit, stamping: OpampStamping) -> Result<Self, CircuitError> {
+        let nv = circuit.node_count - 1; // unknown node voltages (ground excluded)
+        let nvs = circuit.voltage_sources.len();
+        let nop = circuit.opamps.len();
+        let dim = nv + nvs + nop;
+        if dim == 0 {
+            return Ok(Self { lu: None, nv, nvs, nop, stamping });
+        }
+        let mut a = Matrix::zeros(dim, dim);
+
+        for e in &circuit.conductances {
+            if e.g == 0.0 {
+                continue;
+            }
+            match (idx(e.a), idx(e.b)) {
+                (Some(i), Some(j)) => {
+                    a[(i, i)] += e.g;
+                    a[(j, j)] += e.g;
+                    a[(i, j)] -= e.g;
+                    a[(j, i)] -= e.g;
+                }
+                (Some(i), None) | (None, Some(i)) => a[(i, i)] += e.g,
+                (None, None) => {}
+            }
+        }
+
+        // Voltage sources: branch current unknown k flows from `plus`
+        // through the external circuit (i.e. it is supplied into `plus`).
+        for (k, e) in circuit.voltage_sources.iter().enumerate() {
+            let col = nv + k;
+            if let Some(i) = idx(e.plus) {
+                a[(i, col)] += 1.0;
+                a[(col, i)] += 1.0;
+            }
+            if let Some(i) = idx(e.minus) {
+                a[(i, col)] -= 1.0;
+                a[(col, i)] -= 1.0;
+            }
+        }
+
+        // Op-amps: output branch current + constraint row.
+        for (k, e) in circuit.opamps.iter().enumerate() {
+            let col = nv + nvs + k;
+            if let Some(i) = idx(e.out) {
+                a[(i, col)] += 1.0;
+            }
+            match stamping {
+                OpampStamping::PinnedOutputs => {
+                    // Output node pinned to the state value (symmetric
+                    // voltage-source stamp).
+                    if let Some(i) = idx(e.out) {
+                        a[(col, i)] += 1.0;
+                    }
+                }
+                OpampStamping::Behavioural => match e.model.gain {
+                    None => {
+                        // Ideal: v+ + offset - v- = 0.
+                        if let Some(i) = idx(e.inp) {
+                            a[(col, i)] += 1.0;
+                        }
+                        if let Some(i) = idx(e.inn) {
+                            a[(col, i)] -= 1.0;
+                        }
+                    }
+                    Some(gain) => {
+                        // v_out - A (v+ + offset - v-) = 0.
+                        if let Some(i) = idx(e.out) {
+                            a[(col, i)] += 1.0;
+                        }
+                        if let Some(i) = idx(e.inp) {
+                            a[(col, i)] -= gain;
+                        }
+                        if let Some(i) = idx(e.inn) {
+                            a[(col, i)] += gain;
+                        }
+                    }
+                },
+            }
+        }
+
+        let lu = LuDecomposition::new(&a).map_err(CircuitError::from)?;
+        Ok(Self { lu: Some(lu), nv, nvs, nop, stamping })
+    }
+
+    /// Dimension of the MNA system (0 for the empty circuit).
+    pub fn dim(&self) -> usize {
+        self.nv + self.nvs + self.nop
+    }
+
+    /// Number of unknown node voltages (ground excluded). The first
+    /// `unknown_nodes()` rows of a raw solution vector are node voltages,
+    /// in node order.
+    pub fn unknown_nodes(&self) -> usize {
+        self.nv
+    }
+
+    /// Builds the RHS vector from the *current* source values of `circuit`
+    /// (which must have the same element counts as the circuit this
+    /// operator was assembled from). Op-amp rows are filled per the
+    /// stamping mode: offset terms (behavioural) or zero (pinned — callers
+    /// supply states via [`solve_states`](Self::solve_states)).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ShapeMismatch`] if the element counts differ.
+    pub fn rhs(&self, circuit: &Circuit) -> Result<Vec<f64>, CircuitError> {
+        if circuit.node_count - 1 != self.nv
+            || circuit.voltage_sources.len() != self.nvs
+            || circuit.opamps.len() != self.nop
+        {
+            return Err(CircuitError::ShapeMismatch {
+                expected: self.dim(),
+                found: (circuit.node_count - 1)
+                    + circuit.voltage_sources.len()
+                    + circuit.opamps.len(),
+            });
+        }
+        let mut rhs = vec![0.0; self.dim()];
+        for e in &circuit.current_sources {
+            if let Some(i) = idx(e.into) {
+                rhs[i] += e.i;
+            }
+            if let Some(i) = idx(e.from) {
+                rhs[i] -= e.i;
+            }
+        }
+        for (k, e) in circuit.voltage_sources.iter().enumerate() {
+            rhs[self.nv + k] = e.v;
+        }
+        if self.stamping == OpampStamping::Behavioural {
+            for (k, e) in circuit.opamps.iter().enumerate() {
+                rhs[self.nv + self.nvs + k] = match e.model.gain {
+                    None => -e.model.offset,
+                    Some(gain) => gain * e.model.offset,
+                };
+            }
+        }
+        Ok(rhs)
+    }
+
+    /// Solves for the given excitation values of `circuit`, reusing the
+    /// stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ShapeMismatch`] if `circuit`'s element counts differ
+    /// from the assembled ones.
+    pub fn solve_circuit(&self, circuit: &Circuit) -> Result<DcSolution, CircuitError> {
+        let rhs = self.rhs(circuit)?;
+        self.solve_rhs(&rhs)
+    }
+
+    /// Solves for a raw RHS vector (advanced; see [`rhs`](Self::rhs) for
+    /// the layout: node rows, then voltage-source rows, then op-amp rows).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ShapeMismatch`] for a wrong-length RHS.
+    pub fn solve_rhs(&self, rhs: &[f64]) -> Result<DcSolution, CircuitError> {
+        if rhs.len() != self.dim() {
+            return Err(CircuitError::ShapeMismatch { expected: self.dim(), found: rhs.len() });
+        }
+        let Some(lu) = &self.lu else {
+            return Ok(DcSolution {
+                node_voltages: vec![0.0],
+                branch_currents: Vec::new(),
+                vsrc_count: 0,
+            });
+        };
+        let x = lu.solve(rhs).map_err(CircuitError::from)?;
+        Ok(self.solution_from(&x))
+    }
+
+    /// Multi-RHS solve: each column of `rhs` is one excitation, each column
+    /// of the result is the corresponding raw MNA solution vector. All
+    /// columns share the factorization and substitute together through
+    /// [`LuDecomposition::solve_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ShapeMismatch`] for wrong row count;
+    /// [`CircuitError::InvalidArgument`] on the empty circuit.
+    pub fn solve_rhs_matrix(&self, rhs: &Matrix) -> Result<Matrix, CircuitError> {
+        let Some(lu) = &self.lu else {
+            return Err(CircuitError::InvalidArgument("empty circuit"));
+        };
+        if rhs.rows() != self.dim() {
+            return Err(CircuitError::ShapeMismatch { expected: self.dim(), found: rhs.rows() });
+        }
+        lu.solve_matrix(rhs).map_err(CircuitError::from)
+    }
+
+    /// Pinned-outputs solve: op-amp rows carry `states`, other rows carry
+    /// `base_rhs` (typically from [`rhs`](Self::rhs), or zeros for the
+    /// homogeneous response). Returns the full node-voltage vector
+    /// (including ground at index 0).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ShapeMismatch`] for wrong state/RHS lengths.
+    pub fn solve_states(&self, base_rhs: &[f64], states: &[f64]) -> Result<Vec<f64>, CircuitError> {
+        if states.len() != self.nop {
+            return Err(CircuitError::ShapeMismatch { expected: self.nop, found: states.len() });
+        }
+        let mut rhs = base_rhs.to_vec();
+        for (k, &s) in states.iter().enumerate() {
+            rhs[self.nv + self.nvs + k] = s;
+        }
+        let sol = self.solve_rhs(&rhs)?;
+        Ok(sol.node_voltages)
+    }
+
+    fn solution_from(&self, x: &[f64]) -> DcSolution {
+        let mut node_voltages = Vec::with_capacity(self.nv + 1);
+        node_voltages.push(0.0);
+        node_voltages.extend_from_slice(&x[..self.nv]);
+        DcSolution { node_voltages, branch_currents: x[self.nv..].to_vec(), vsrc_count: self.nvs }
+    }
+}
+
+/// Solves the DC operating point of `circuit` (one-shot: assembles, factors
+/// and solves; use [`DcOperator`] to amortize the factorization over many
+/// excitations).
 ///
 /// # Errors
 ///
 /// * [`CircuitError::SingularSystem`] for floating nodes or ill-posed
 ///   feedback (e.g. an op-amp whose inputs are not connected to anything).
 pub fn dc_solve(circuit: &Circuit) -> Result<DcSolution, CircuitError> {
-    let nv = circuit.node_count - 1; // unknown node voltages (ground excluded)
-    let nvs = circuit.voltage_sources.len();
-    let nop = circuit.opamps.len();
-    let dim = nv + nvs + nop;
-    if dim == 0 {
-        return Ok(DcSolution {
-            node_voltages: vec![0.0],
-            branch_currents: Vec::new(),
-            vsrc_count: 0,
-        });
-    }
-    let mut a = Matrix::zeros(dim, dim);
-    let mut rhs = vec![0.0; dim];
-
-    // Map node -> MNA row/col (ground has none).
-    let idx = |n: Node| -> Option<usize> { if n.index() == 0 { None } else { Some(n.index() - 1) } };
-
-    for e in &circuit.conductances {
-        if e.g == 0.0 {
-            continue;
-        }
-        match (idx(e.a), idx(e.b)) {
-            (Some(i), Some(j)) => {
-                a[(i, i)] += e.g;
-                a[(j, j)] += e.g;
-                a[(i, j)] -= e.g;
-                a[(j, i)] -= e.g;
-            }
-            (Some(i), None) | (None, Some(i)) => a[(i, i)] += e.g,
-            (None, None) => {}
-        }
-    }
-
-    for e in &circuit.current_sources {
-        if let Some(i) = idx(e.into) {
-            rhs[i] += e.i;
-        }
-        if let Some(i) = idx(e.from) {
-            rhs[i] -= e.i;
-        }
-    }
-
-    // Voltage sources: branch current unknown k flows from `plus` through
-    // the external circuit (i.e. it is supplied into the `plus` node).
-    for (k, e) in circuit.voltage_sources.iter().enumerate() {
-        let col = nv + k;
-        if let Some(i) = idx(e.plus) {
-            a[(i, col)] += 1.0;
-            a[(col, i)] += 1.0;
-        }
-        if let Some(i) = idx(e.minus) {
-            a[(i, col)] -= 1.0;
-            a[(col, i)] -= 1.0;
-        }
-        rhs[col] = e.v;
-    }
-
-    // Op-amps: output branch current + behavioural constraint row.
-    for (k, e) in circuit.opamps.iter().enumerate() {
-        let col = nv + nvs + k;
-        if let Some(i) = idx(e.out) {
-            a[(i, col)] += 1.0;
-        }
-        match e.model.gain {
-            None => {
-                // Ideal: v+ + offset - v- = 0.
-                if let Some(i) = idx(e.inp) {
-                    a[(col, i)] += 1.0;
-                }
-                if let Some(i) = idx(e.inn) {
-                    a[(col, i)] -= 1.0;
-                }
-                rhs[col] = -e.model.offset;
-            }
-            Some(gain) => {
-                // v_out - A (v+ + offset - v-) = 0.
-                if let Some(i) = idx(e.out) {
-                    a[(col, i)] += 1.0;
-                }
-                if let Some(i) = idx(e.inp) {
-                    a[(col, i)] -= gain;
-                }
-                if let Some(i) = idx(e.inn) {
-                    a[(col, i)] += gain;
-                }
-                rhs[col] = gain * e.model.offset;
-            }
-        }
-    }
-
-    let lu = LuDecomposition::new(&a).map_err(CircuitError::from)?;
-    let x = lu.solve(&rhs).map_err(CircuitError::from)?;
-
-    let mut node_voltages = Vec::with_capacity(nv + 1);
-    node_voltages.push(0.0);
-    node_voltages.extend_from_slice(&x[..nv]);
-    let branch_currents = x[nv..].to_vec();
-    Ok(DcSolution { node_voltages, branch_currents, vsrc_count: nvs })
+    DcOperator::new(circuit)?.solve_circuit(circuit)
 }
 
 #[cfg(test)]
@@ -249,6 +442,77 @@ mod tests {
         let out = c.inverter(vin, 1e-3, OpampModel::ideal());
         let sol = dc_solve(&c).unwrap();
         assert!((sol.voltage(out) + 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operator_reuses_factorization_across_excitations() {
+        // Factor once, solve for several source values: must match fresh
+        // dc_solve exactly (the matrix never changes, only the RHS).
+        let mut c = Circuit::new();
+        let top = c.node();
+        let mid = c.node();
+        let vs = c.voltage_source(top, Circuit::GROUND, 2.0);
+        c.conductance(top, mid, 1e-3);
+        c.conductance(mid, Circuit::GROUND, 3e-3);
+        let op = DcOperator::new(&c).unwrap();
+        for v in [2.0, -1.0, 0.5, 7.25] {
+            c.set_voltage(vs, v);
+            let fast = op.solve_circuit(&c).unwrap();
+            let fresh = dc_solve(&c).unwrap();
+            assert_eq!(fast.voltage(mid).to_bits(), fresh.voltage(mid).to_bits());
+            assert_eq!(
+                fast.voltage_source_current(0).to_bits(),
+                fresh.voltage_source_current(0).to_bits()
+            );
+            assert!((fast.voltage(mid) - v / 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn operator_tracks_current_source_updates() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        let is = c.current_source(Circuit::GROUND, n, 1e-3);
+        c.conductance(n, Circuit::GROUND, 1e-3);
+        let op = DcOperator::new(&c).unwrap();
+        for i in [1e-3, -2e-3, 0.4e-3] {
+            c.set_current(is, i);
+            let sol = op.solve_circuit(&c).unwrap();
+            assert!((sol.voltage(n) - i / 1e-3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn operator_rejects_mismatched_circuit() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.conductance(n, Circuit::GROUND, 1e-3);
+        c.current_source(Circuit::GROUND, n, 1e-3);
+        let op = DcOperator::new(&c).unwrap();
+        let _extra = c.node(); // changes the unknown count
+        assert!(matches!(op.solve_circuit(&c), Err(CircuitError::ShapeMismatch { .. })));
+        assert!(matches!(op.solve_rhs(&[0.0; 5]), Err(CircuitError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn operator_multi_rhs_matches_single_solves() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        c.conductance(a, b, 2e-3);
+        c.conductance(a, Circuit::GROUND, 1e-3);
+        c.conductance(b, Circuit::GROUND, 5e-4);
+        c.current_source(Circuit::GROUND, a, 1e-3);
+        let op = DcOperator::new(&c).unwrap();
+        let dim = op.dim();
+        let rhs = Matrix::from_fn(dim, 3, |i, j| ((i + 2 * j) as f64 * 0.3).sin() * 1e-3);
+        let xs = op.solve_rhs_matrix(&rhs).unwrap();
+        for j in 0..3 {
+            let sol = op.solve_rhs(&rhs.col(j)).unwrap();
+            for i in 0..dim.min(op.unknown_nodes()) {
+                assert_eq!(xs[(i, j)].to_bits(), sol.node_voltages[i + 1].to_bits());
+            }
+        }
     }
 
     #[test]

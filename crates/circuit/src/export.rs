@@ -113,8 +113,7 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, -0.5], &[0.25, 2.0]]);
         let gp = a.map(|v| if v > 0.0 { v * 40e-6 + 1e-6 } else { 1e-6 });
         let gn = a.map(|v| if v < 0.0 { -v * 40e-6 + 1e-6 } else { 1e-6 });
-        let t =
-            crate::topology::build_inv(&gp, &gn, &[1e-6, -2e-6], OpampModel::ideal()).unwrap();
+        let t = crate::topology::build_inv(&gp, &gn, &[1e-6, -2e-6], OpampModel::ideal()).unwrap();
         let deck = to_spice(&t.circuit, "INV 2x2");
         // 2 rows × (2 pos + 2 neg) crossbar conductances + 2 inverters × 2 = 12 R lines.
         let r_lines = deck.lines().filter(|l| l.starts_with('R')).count();

@@ -45,8 +45,8 @@ mod netlist;
 pub mod topology;
 mod transient;
 
-pub use dc::{dc_solve, DcSolution};
-pub use export::to_spice;
+pub use dc::{dc_solve, DcOperator, DcSolution};
 pub use error::CircuitError;
+pub use export::to_spice;
 pub use netlist::{Circuit, CurrentSourceId, Node, OpampId, OpampModel, VoltageSourceId};
 pub use transient::{transient_solve, TransientConfig, TransientResult};

@@ -154,9 +154,8 @@ pub fn build_inv(
         }
     }
     // Injection currents.
-    let input_sources: Vec<CurrentSourceId> = (0..rows)
-        .map(|i| c.current_source(Circuit::GROUND, row_nodes[i], i_in[i]))
-        .collect();
+    let input_sources: Vec<CurrentSourceId> =
+        (0..rows).map(|i| c.current_source(Circuit::GROUND, row_nodes[i], i_in[i])).collect();
     Ok(InvTopology { circuit: c, input_sources, x_nodes })
 }
 
@@ -286,8 +285,7 @@ pub fn build_egv(
     let mut c = Circuit::new();
     let row_nodes = c.nodes(rows);
     // TIAs: u_i with feedback g_lambda.
-    let u_nodes: Vec<Node> =
-        row_nodes.iter().map(|&r| c.tia(r, g_lambda, model)).collect();
+    let u_nodes: Vec<Node> = row_nodes.iter().map(|&r| c.tia(r, g_lambda, model)).collect();
     // Inverters: x_j = -u_j closes the loop with the right sign.
     let x_nodes: Vec<Node> =
         u_nodes.iter().map(|&u| c.inverter(u, INVERTER_CONDUCTANCE, model)).collect();
@@ -383,8 +381,7 @@ mod tests {
         for gain in [1e2, 1e4] {
             let t = build_inv(&gp, &gn, &i_in, OpampModel::with_gain(gain)).unwrap();
             let sol = dc_solve(&t.circuit).unwrap();
-            let x: Vec<f64> =
-                sol.voltages(&t.x_nodes).iter().map(|v| v / v_unit).collect();
+            let x: Vec<f64> = sol.voltages(&t.x_nodes).iter().map(|v| v / v_unit).collect();
             errs.push(gramc_linalg::vector::rel_error(&x, &x_ref));
         }
         assert!(errs[1] < errs[0] / 10.0, "{errs:?}");
@@ -486,10 +483,7 @@ mod tests {
         let cfg = TransientConfig { dt: Some(2e-11), t_max: 2e-6, ..Default::default() };
         let tr = transient_solve(&t.circuit, &seed, &cfg).unwrap();
         let x = tr.voltages(&t.x_nodes);
-        assert!(
-            gramc_linalg::vector::norm2(&x) < 1e-4,
-            "loop should decay when λ̂ > λ₁: {x:?}"
-        );
+        assert!(gramc_linalg::vector::norm2(&x) < 1e-4, "loop should decay when λ̂ > λ₁: {x:?}");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 use gramc_linalg::{LuDecomposition, Matrix};
 
+use crate::dc::DcOperator;
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, Node};
 
@@ -89,99 +90,45 @@ impl TransientResult {
     }
 }
 
-/// Pre-factored algebraic network for transient evaluation.
+/// Pre-factored algebraic network for transient evaluation: a thin wrapper
+/// over [`DcOperator`] in pinned-outputs mode (op-amp outputs act as voltage
+/// sources carrying the integrator states; the matrix is factored once for
+/// the whole run).
 struct AlgebraicNetwork {
-    lu: LuDecomposition,
+    op: DcOperator,
     base_rhs: Vec<f64>,
-    nv: usize,
-    nvs: usize,
 }
 
 impl AlgebraicNetwork {
     fn build(circuit: &Circuit) -> Result<Self, CircuitError> {
-        let nv = circuit.node_count - 1;
-        let nvs = circuit.voltage_sources.len();
-        let nop = circuit.opamps.len();
-        let dim = nv + nvs + nop;
-        if dim == 0 {
+        let op = DcOperator::new_pinned_outputs(circuit)?;
+        if op.dim() == 0 {
             return Err(CircuitError::InvalidArgument("empty circuit"));
         }
-        let mut a = Matrix::zeros(dim, dim);
-        let mut base_rhs = vec![0.0; dim];
-        let idx =
-            |n: Node| -> Option<usize> { if n.index() == 0 { None } else { Some(n.index() - 1) } };
-
-        for e in &circuit.conductances {
-            if e.g == 0.0 {
-                continue;
-            }
-            match (idx(e.a), idx(e.b)) {
-                (Some(i), Some(j)) => {
-                    a[(i, i)] += e.g;
-                    a[(j, j)] += e.g;
-                    a[(i, j)] -= e.g;
-                    a[(j, i)] -= e.g;
-                }
-                (Some(i), None) | (None, Some(i)) => a[(i, i)] += e.g,
-                (None, None) => {}
-            }
-        }
-        for e in &circuit.current_sources {
-            if let Some(i) = idx(e.into) {
-                base_rhs[i] += e.i;
-            }
-            if let Some(i) = idx(e.from) {
-                base_rhs[i] -= e.i;
-            }
-        }
-        for (k, e) in circuit.voltage_sources.iter().enumerate() {
-            let col = nv + k;
-            if let Some(i) = idx(e.plus) {
-                a[(i, col)] += 1.0;
-                a[(col, i)] += 1.0;
-            }
-            if let Some(i) = idx(e.minus) {
-                a[(i, col)] -= 1.0;
-                a[(col, i)] -= 1.0;
-            }
-            base_rhs[col] = e.v;
-        }
-        // Op-amp outputs pinned to their state values.
-        for (k, e) in circuit.opamps.iter().enumerate() {
-            let col = nv + nvs + k;
-            if let Some(i) = idx(e.out) {
-                a[(i, col)] += 1.0;
-                a[(col, i)] += 1.0;
-            }
-        }
-        let lu = LuDecomposition::new(&a).map_err(CircuitError::from)?;
-        Ok(Self { lu, base_rhs, nv, nvs })
+        let base_rhs = op.rhs(circuit)?;
+        Ok(Self { op, base_rhs })
     }
 
     /// Solves node voltages given the op-amp output states.
     fn solve(&self, states: &[f64]) -> Result<Vec<f64>, CircuitError> {
-        let mut rhs = self.base_rhs.clone();
-        for (k, &s) in states.iter().enumerate() {
-            rhs[self.nv + self.nvs + k] = s;
-        }
-        let x = self.lu.solve(&rhs).map_err(CircuitError::from)?;
-        let mut volts = Vec::with_capacity(self.nv + 1);
-        volts.push(0.0);
-        volts.extend_from_slice(&x[..self.nv]);
-        Ok(volts)
+        self.op.solve_states(&self.base_rhs, states)
     }
 
-    /// Like [`solve`](Self::solve) but with all independent sources zeroed —
-    /// used to extract the homogeneous response for the affine map.
-    fn solve_homogeneous(&self, states: &[f64]) -> Result<Vec<f64>, CircuitError> {
-        let mut rhs = vec![0.0; self.base_rhs.len()];
-        for (k, &s) in states.iter().enumerate() {
-            rhs[self.nv + self.nvs + k] = s;
+    /// Batched homogeneous responses: column `j` of the result holds the
+    /// node voltages (ground included, row 0) for unit state `e_j`. One
+    /// multi-RHS substitution replaces `nop` sequential solves.
+    fn solve_homogeneous_units(&self, nop: usize) -> Result<Matrix, CircuitError> {
+        let dim = self.op.dim();
+        let state_row0 = dim - nop; // op-amp rows are the trailing block
+        let rhs = Matrix::from_fn(dim, nop, |i, j| if i == state_row0 + j { 1.0 } else { 0.0 });
+        let x = self.op.solve_rhs_matrix(&rhs)?;
+        let nv = self.op.unknown_nodes();
+        let mut volts = Matrix::zeros(nv + 1, nop);
+        for j in 0..nop {
+            for i in 0..nv {
+                volts[(i + 1, j)] = x[(i, j)];
+            }
         }
-        let x = self.lu.solve(&rhs).map_err(CircuitError::from)?;
-        let mut volts = Vec::with_capacity(self.nv + 1);
-        volts.push(0.0);
-        volts.extend_from_slice(&x[..self.nv]);
         Ok(volts)
     }
 }
@@ -205,15 +152,13 @@ impl InputMap {
         };
         let zero_states = vec![0.0; nop];
         let q = extract(&net.solve(&zero_states)?);
+        // Homogeneous responses (sources off, offset excluded) give the pure
+        // state-to-input coupling, all unit states in one multi-RHS solve.
+        let volts = net.solve_homogeneous_units(nop)?;
         let mut p = Matrix::zeros(nop, nop);
         for j in 0..nop {
-            let mut e_j = vec![0.0; nop];
-            e_j[j] = 1.0;
-            // Homogeneous response (sources off, offset excluded) gives the
-            // pure state-to-input coupling.
-            let volts = net.solve_homogeneous(&e_j)?;
             for (k, e) in circuit.opamps.iter().enumerate() {
-                p[(k, j)] = volts[e.inp.index()] - volts[e.inn.index()];
+                p[(k, j)] = volts[(e.inp.index(), j)] - volts[(e.inn.index(), j)];
             }
         }
         Ok(Self { p, q })
@@ -353,11 +298,7 @@ pub fn transient_solve(
         // Settle check: residual slew relative to the output scale.
         let (f, _) = eval(&state);
         let scale = state.iter().fold(1e-9_f64, |m, v| m.max(v.abs()));
-        let slew = f
-            .iter()
-            .zip(&taus)
-            .map(|(fk, tk)| (fk * tk).abs())
-            .fold(0.0_f64, f64::max);
+        let slew = f.iter().zip(&taus).map(|(fk, tk)| (fk * tk).abs()).fold(0.0_f64, f64::max);
         if slew <= config.settle_tol * scale {
             settled = true;
             break;

@@ -20,7 +20,7 @@ use gramc_array::{
     ActiveRegion, ArrayConfig, ConductanceMapper, CrossbarArray, LevelMatrix, MappedMatrix,
     SignedEncoding, WriteVerifyController,
 };
-use gramc_circuit::{dc_solve, topology, OpampModel};
+use gramc_circuit::{dc_solve, topology, DcOperator, OpampModel};
 use gramc_device::{CellNoise, LevelQuantizer};
 use gramc_linalg::{power_iteration, random, vector, Matrix};
 use rand::rngs::StdRng;
@@ -66,7 +66,12 @@ impl MacroConfig {
 
     /// A small, fully ideal macro (deterministic tests).
     pub fn small_ideal(n: usize) -> Self {
-        Self { array_rows: n, array_cols: n, nonideal: NonidealityConfig::ideal(), ..Self::default() }
+        Self {
+            array_rows: n,
+            array_cols: n,
+            nonideal: NonidealityConfig::ideal(),
+            ..Self::default()
+        }
     }
 }
 
@@ -91,10 +96,7 @@ impl AmcMacro {
         let array_cfg = ArrayConfig {
             rows: config.array_rows,
             cols: config.array_cols,
-            noise: CellNoise {
-                c2c_gap_sigma: ni.c2c_gap_sigma,
-                read_rel_sigma: ni.read_noise_rel,
-            },
+            noise: CellNoise { c2c_gap_sigma: ni.c2c_gap_sigma, read_rel_sigma: ni.read_noise_rel },
             d2d_i0_sigma: ni.d2d_i0_sigma,
             d2d_g0_sigma: ni.d2d_g0_sigma,
             wire_resistance: ni.wire_resistance,
@@ -247,8 +249,7 @@ impl MacroGroup {
     pub fn new(n_macros: usize, config: MacroConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let quantizer = LevelQuantizer::with_bits(config.nonideal.weight_bits);
-        let macros =
-            (0..n_macros).map(|id| AmcMacro::new(id, &config, &mut rng)).collect();
+        let macros = (0..n_macros).map(|id| AmcMacro::new(id, &config, &mut rng)).collect();
         let write_verify = WriteVerifyController::new(Default::default(), quantizer.clone());
         Self { config, macros, operators: Vec::new(), quantizer, write_verify, rng }
     }
@@ -274,9 +275,7 @@ impl MacroGroup {
     ///
     /// [`CoreError::NoSuchMacro`] if out of range.
     pub fn macro_at(&self, id: usize) -> Result<&AmcMacro, CoreError> {
-        self.macros
-            .get(id)
-            .ok_or(CoreError::NoSuchMacro { id, count: self.macros.len() })
+        self.macros.get(id).ok_or(CoreError::NoSuchMacro { id, count: self.macros.len() })
     }
 
     /// Number of macros not yet claimed by an operator.
@@ -331,12 +330,8 @@ impl MacroGroup {
         // arrays" — Fig. 2 shows the array split into column halves).
         let per_macro = if 2 * cols <= self.config.array_cols { 2 } else { 1 };
         let macros_needed = planes.len().div_ceil(per_macro);
-        let free: Vec<usize> = self
-            .macros
-            .iter()
-            .filter(|m| m.owner.is_none())
-            .map(|m| m.id)
-            .collect();
+        let free: Vec<usize> =
+            self.macros.iter().filter(|m| m.owner.is_none()).map(|m| m.id).collect();
         if free.len() < macros_needed {
             return Err(CoreError::OutOfCapacity {
                 requested: macros_needed,
@@ -365,7 +360,12 @@ impl MacroGroup {
             ProgrammingMode::Pulse => {
                 let targets = plane.to_targets();
                 self.write_verify
-                    .program_region(&mut self.macros[macro_id].array, region, &targets, &mut self.rng)
+                    .program_region(
+                        &mut self.macros[macro_id].array,
+                        region,
+                        &targets,
+                        &mut self.rng,
+                    )
                     .map_err(CoreError::from)?;
             }
             ProgrammingMode::Direct { sigma_levels } => {
@@ -392,8 +392,7 @@ impl MacroGroup {
         let mapped: MappedMatrix = mapper.map(a).map_err(CoreError::from)?;
         let neg = mapped.negative.clone().expect("differential mapping has two planes");
         let op_index = self.operators.len();
-        let planes =
-            self.place_planes(a.rows(), a.cols(), &[&mapped.positive, &neg], op_index)?;
+        let planes = self.place_planes(a.rows(), a.cols(), &[&mapped.positive, &neg], op_index)?;
         let row_g_sum = self.row_conductance_sums(&planes, a.rows())?;
         let quantized = mapped.dequantize();
         let max_row_levels = (0..a.rows())
@@ -466,8 +465,7 @@ impl MacroGroup {
     }
 
     fn configure_operator(&mut self, id: OperatorId, mode: MacroMode) -> Result<(), CoreError> {
-        let macro_ids: Vec<usize> =
-            self.operator(id)?.planes.iter().map(|p| p.macro_id).collect();
+        let macro_ids: Vec<usize> = self.operator(id)?.planes.iter().map(|p| p.macro_id).collect();
         for mid in macro_ids {
             self.macros[mid].registers.configure(mode);
         }
@@ -592,7 +590,11 @@ impl MacroGroup {
     /// # Errors
     ///
     /// Same conditions as [`mvm`](Self::mvm).
-    pub fn mvm_batch(&mut self, id: OperatorId, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CoreError> {
+    pub fn mvm_batch(
+        &mut self,
+        id: OperatorId,
+        xs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
         let op = self.operator(id)?;
         let (rows, cols, scale, nplanes) =
             (op.info.rows, op.info.cols, op.info.scale, op.info.planes);
@@ -603,27 +605,42 @@ impl MacroGroup {
             }
         }
         self.configure_operator(id, MacroMode::Mvm)?;
-        // One noisy conductance read per plane for the whole batch.
-        let mut gs = Vec::with_capacity(nplanes);
+        // One noisy conductance read per plane for the whole batch, held
+        // pre-transposed so the whole batch multiplies through the blocked
+        // matmul kernel: I_p = V · G_pᵀ.
+        let mut gs_t = Vec::with_capacity(nplanes);
         for p in &planes {
             let g = self.macros[p.macro_id]
                 .array
                 .conductances(p.region, &mut self.rng)
                 .map_err(CoreError::from)?;
-            gs.push(g);
+            gs_t.push(g.transpose());
         }
         let dac = self.macros[planes[0].macro_id].dac;
         let adc = self.macros[planes[0].macro_id].adc;
-        let mut out = Vec::with_capacity(xs.len());
-        for x in xs {
+        // DAC-converted drive matrix, one batch vector per row (all-zero
+        // inputs keep their exact-zero output without touching the arrays).
+        let bsz = xs.len();
+        let mut v_mat = Matrix::zeros(bsz, cols);
+        let mut x_maxes = vec![0.0; bsz];
+        for (b, x) in xs.iter().enumerate() {
             let x_max = vector::norm_inf(x);
+            x_maxes[b] = x_max;
+            if x_max == 0.0 {
+                continue;
+            }
+            for (vj, &xi) in v_mat.row_mut(b).iter_mut().zip(x) {
+                *vj = dac.convert(xi / x_max);
+            }
+        }
+        let currents: Vec<Matrix> = gs_t.iter().map(|g_t| v_mat.matmul(g_t)).collect();
+        let mut out = Vec::with_capacity(bsz);
+        for (b, &x_max) in x_maxes.iter().enumerate() {
             if x_max == 0.0 {
                 out.push(vec![0.0; rows]);
                 continue;
             }
             let v_scale = self.config.v_read / x_max;
-            let v: Vec<f64> = x.iter().map(|&xi| dac.convert(xi / x_max)).collect();
-            let currents: Vec<Vec<f64>> = gs.iter().map(|g| g.matvec(&v)).collect();
             let conv = self.current_decode(scale, v_scale);
             let mut y = Vec::with_capacity(rows);
             for i in 0..rows {
@@ -631,7 +648,7 @@ impl MacroGroup {
                 let noise_gain = 1.0 + row_g_sum[i] / g_f;
                 let mut pair_values = Vec::with_capacity(nplanes / 2);
                 for pair in 0..nplanes / 2 {
-                    let i_diff = currents[2 * pair][i] - currents[2 * pair + 1][i];
+                    let i_diff = currents[2 * pair][(b, i)] - currents[2 * pair + 1][(b, i)];
                     let v_out = -i_diff / g_f + offset * noise_gain;
                     pair_values.push(adc.convert(v_out) * adc.v_ref());
                 }
@@ -689,11 +706,7 @@ impl MacroGroup {
         }
         let sol = dc_solve(&topo.circuit).map_err(CoreError::from)?;
         let conv = self.current_decode(scale, v_scale);
-        Ok(sol
-            .voltages(&topo.outputs)
-            .iter()
-            .map(|v_out| -v_out * g_f * conv)
-            .collect())
+        Ok(sol.voltages(&topo.outputs).iter().map(|v_out| -v_out * g_f * conv).collect())
     }
 
     /// One-step linear-system solve `A·x = b` on the INV configuration
@@ -739,23 +752,27 @@ impl MacroGroup {
         // Auto-ranging (the Fig. 3 verify/flag path): if the solution rails
         // the ADC, the controller halves the injection scale α and re-runs.
         // α is volts of output per matrix unit of x; I_in = −(step/scale)·α·b.
+        // Only the injected currents change between attempts, so the MNA
+        // matrix is assembled and LU-factored once (DcOperator) and every
+        // retry is a cheap substitution.
         let mut alpha = self.config.v_read / b_max;
+        let quantized_b: Vec<f64> =
+            b.iter().map(|&bi| dac.convert(bi / b_max) / self.config.v_read).collect();
+        let i_in: Vec<f64> = quantized_b.iter().map(|&qb| -c * alpha * b_max * qb).collect();
+        let mut topo =
+            topology::build_inv(&g_pos, &g_neg, &i_in, model).map_err(CoreError::from)?;
+        for (k, opamp) in topo.circuit.opamp_ids().into_iter().enumerate() {
+            let m = topo.circuit.opamp_model(opamp);
+            let off = self.macros[planes[0].macro_id].opamp_offset(k);
+            topo.circuit.set_opamp_model(opamp, m.offset(off));
+        }
+        let dc_op = DcOperator::new(&topo.circuit).map_err(CoreError::from)?;
         let mut x = Vec::new();
         for _attempt in 0..8 {
-            let i_in: Vec<f64> = b
-                .iter()
-                .map(|&bi| {
-                    -c * alpha * b_max * (dac.convert(bi / b_max) / self.config.v_read)
-                })
-                .collect();
-            let mut topo =
-                topology::build_inv(&g_pos, &g_neg, &i_in, model).map_err(CoreError::from)?;
-            for (k, opamp) in topo.circuit.opamp_ids().into_iter().enumerate() {
-                let m = topo.circuit.opamp_model(opamp);
-                let off = self.macros[planes[0].macro_id].opamp_offset(k);
-                topo.circuit.set_opamp_model(opamp, m.offset(off));
+            for (&src, &qb) in topo.input_sources.iter().zip(&quantized_b) {
+                topo.circuit.set_current(src, -c * alpha * b_max * qb);
             }
-            let sol = dc_solve(&topo.circuit).map_err(CoreError::from)?;
+            let sol = dc_op.solve_circuit(&topo.circuit).map_err(CoreError::from)?;
             let volts = sol.voltages(&topo.x_nodes);
             let peak = volts.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
             if peak > 0.95 * adc.v_ref() {
@@ -809,24 +826,26 @@ impl MacroGroup {
         let g_f = c.clamp(self.quantizer.g_min(), self.quantizer.g_max());
         let model = self.opamp_model();
 
-        // Auto-ranging exactly as in solve_inv.
+        // Auto-ranging exactly as in solve_inv: factor once, re-scale the
+        // injected currents per attempt.
         let mut alpha = self.config.v_read / b_max;
+        let quantized_b: Vec<f64> =
+            b.iter().map(|&bi| dac.convert(bi / b_max) / self.config.v_read).collect();
+        let i_b: Vec<f64> = quantized_b.iter().map(|&qb| -c * alpha * b_max * qb).collect();
+        let mut topo =
+            topology::build_pinv(&g_pos, &g_neg, &i_b, g_f, model).map_err(CoreError::from)?;
+        for (k, opamp) in topo.circuit.opamp_ids().into_iter().enumerate() {
+            let m = topo.circuit.opamp_model(opamp);
+            let off = self.macros[planes[0].macro_id].opamp_offset(k);
+            topo.circuit.set_opamp_model(opamp, m.offset(off));
+        }
+        let dc_op = DcOperator::new(&topo.circuit).map_err(CoreError::from)?;
         let mut x = Vec::new();
         for _attempt in 0..8 {
-            let i_b: Vec<f64> = b
-                .iter()
-                .map(|&bi| {
-                    -c * alpha * b_max * (dac.convert(bi / b_max) / self.config.v_read)
-                })
-                .collect();
-            let mut topo = topology::build_pinv(&g_pos, &g_neg, &i_b, g_f, model)
-                .map_err(CoreError::from)?;
-            for (k, opamp) in topo.circuit.opamp_ids().into_iter().enumerate() {
-                let m = topo.circuit.opamp_model(opamp);
-                let off = self.macros[planes[0].macro_id].opamp_offset(k);
-                topo.circuit.set_opamp_model(opamp, m.offset(off));
+            for (&src, &qb) in topo.input_sources.iter().zip(&quantized_b) {
+                topo.circuit.set_current(src, -c * alpha * b_max * qb);
             }
-            let sol = dc_solve(&topo.circuit).map_err(CoreError::from)?;
+            let sol = dc_op.solve_circuit(&topo.circuit).map_err(CoreError::from)?;
             let volts = sol.voltages(&topo.x_nodes);
             let peak = volts.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
             if peak > 0.95 * adc.v_ref() {
@@ -892,9 +911,7 @@ impl MacroGroup {
         let pair = power_iteration(&dg, 10_000, 1e-10).map_err(CoreError::from)?;
         let g_lambda_ideal = pair.value;
         if !(g_lambda_ideal > 0.0) {
-            return Err(CoreError::InvalidArgument(
-                "EGV requires a positive dominant eigenvalue",
-            ));
+            return Err(CoreError::InvalidArgument("EGV requires a positive dominant eigenvalue"));
         }
 
         // The feedback conductance may exceed one cell's G_max (λ₁ can be
@@ -1102,9 +1119,7 @@ mod tests {
         let quantized = g.operator_info(op).unwrap().quantized.clone();
         // Reference from the digital eigensolver on the (symmetrized)
         // quantized matrix — quantization can break exact symmetry.
-        let q_sym = Matrix::from_fn(8, 8, |i, j| {
-            0.5 * (quantized[(i, j)] + quantized[(j, i)])
-        });
+        let q_sym = Matrix::from_fn(8, 8, |i, j| 0.5 * (quantized[(i, j)] + quantized[(j, i)]));
         let eig = gramc_linalg::SymmetricEigen::new(&q_sym).unwrap();
         let err = vector::rel_error_up_to_sign(&sol.eigenvector, &eig.eigenvector(0));
         assert!(err < 0.12, "EGV error {err}");

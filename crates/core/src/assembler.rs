@@ -99,6 +99,10 @@ pub fn format_program(program: &[Instruction]) -> String {
             Instruction::Mvm { slot, src, dst } => {
                 let _ = write!(out, "mvm        s{slot}, {}, {}", fmt_ref(src), fmt_ref(dst));
             }
+            Instruction::MvmBatch { slot, batch, src, dst } => {
+                let _ =
+                    write!(out, "mvm_batch  s{slot}, x{batch}, {}, {}", fmt_ref(src), fmt_ref(dst));
+            }
             Instruction::SolveInv { slot, src, dst } => {
                 let _ = write!(out, "solve_inv  s{slot}, {}, {}", fmt_ref(src), fmt_ref(dst));
             }
@@ -131,8 +135,7 @@ pub fn format_program(program: &[Instruction]) -> String {
                 let _ = write!(out, "jump       @{target}");
             }
             Instruction::BranchIfLess { a, b, target } => {
-                let _ =
-                    write!(out, "branch_lt  {}, {}, @{target}", fmt_ref(a), fmt_ref(b));
+                let _ = write!(out, "branch_lt  {}, {}, @{target}", fmt_ref(a), fmt_ref(b));
             }
             Instruction::LoopDec { counter, target } => {
                 let _ = write!(out, "loop_dec   g:{counter}, @{target}");
@@ -191,9 +194,8 @@ impl<'a> LineParser<'a> {
 
     fn dims(&mut self) -> Result<(u16, u16), ParseError> {
         let p = self.next()?;
-        let (r, c) = p
-            .split_once('x')
-            .ok_or_else(|| self.err(format!("bad shape '{p}' (want RxC)")))?;
+        let (r, c) =
+            p.split_once('x').ok_or_else(|| self.err(format!("bad shape '{p}' (want RxC)")))?;
         Ok((
             r.parse().map_err(|_| self.err(format!("bad rows in '{p}'")))?,
             c.parse().map_err(|_| self.err(format!("bad cols in '{p}'")))?,
@@ -248,6 +250,15 @@ pub fn parse_program(text: &str) -> Result<Vec<Instruction>, ParseError> {
             }
             "free" => Instruction::FreeMatrix { slot: p.slot()? },
             "mvm" => Instruction::Mvm { slot: p.slot()?, src: p.buf_ref()?, dst: p.buf_ref()? },
+            "mvm_batch" => {
+                let slot = p.slot()?;
+                let b = p.next()?;
+                let batch = b
+                    .strip_prefix('x')
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| p.err(format!("bad batch '{b}' (want xN)")))?;
+                Instruction::MvmBatch { slot, batch, src: p.buf_ref()?, dst: p.buf_ref()? }
+            }
             "solve_inv" => {
                 Instruction::SolveInv { slot: p.slot()?, src: p.buf_ref()?, dst: p.buf_ref()? }
             }
@@ -265,9 +276,8 @@ pub fn parse_program(text: &str) -> Result<Vec<Instruction>, ParseError> {
                 let (dims, win) = shape
                     .split_once('/')
                     .ok_or_else(|| p.err(format!("bad pool shape '{shape}' (want HxW/win)")))?;
-                let (h, w) = dims
-                    .split_once('x')
-                    .ok_or_else(|| p.err(format!("bad pool dims '{dims}'")))?;
+                let (h, w) =
+                    dims.split_once('x').ok_or_else(|| p.err(format!("bad pool dims '{dims}'")))?;
                 let h: u16 = h.parse().map_err(|_| p.err("bad pool height"))?;
                 let w: u16 = w.parse().map_err(|_| p.err("bad pool width"))?;
                 let window: u8 = win.parse().map_err(|_| p.err("bad pool window"))?;
@@ -286,11 +296,9 @@ pub fn parse_program(text: &str) -> Result<Vec<Instruction>, ParseError> {
             "softmax" => Instruction::Softmax { src: p.buf_ref()?, dst: p.buf_ref()? },
             "copy" => Instruction::Copy { src: p.buf_ref()?, dst: p.buf_ref()? },
             "jump" => Instruction::Jump { target: p.target()? },
-            "branch_lt" => Instruction::BranchIfLess {
-                a: p.buf_ref()?,
-                b: p.buf_ref()?,
-                target: p.target()?,
-            },
+            "branch_lt" => {
+                Instruction::BranchIfLess { a: p.buf_ref()?, b: p.buf_ref()?, target: p.target()? }
+            }
             "loop_dec" => {
                 let c = p.next()?;
                 let counter = c
@@ -329,6 +337,12 @@ mod tests {
                 slot: 0,
                 src: BufferRef::global(16384, 128),
                 dst: BufferRef::output(0, 128),
+            },
+            Instruction::MvmBatch {
+                slot: 0,
+                batch: 4,
+                src: BufferRef::global(16384, 512),
+                dst: BufferRef::output(0, 512),
             },
             Instruction::SolveInv {
                 slot: 0,
@@ -378,7 +392,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blanks_are_ignored()  {
+    fn comments_and_blanks_are_ignored() {
         let text = "
 ; a comment-only line
 nop            ; trailing comment

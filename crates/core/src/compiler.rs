@@ -22,6 +22,15 @@ pub enum MatrixOp {
         /// The input vector.
         x: Vec<f64>,
     },
+    /// `Y = A·X` for a whole batch of input vectors: lowered to a single
+    /// [`Instruction::MvmBatch`] so the hardware reads the array once for
+    /// the batch (the LeNet layer pattern).
+    MvmBatch {
+        /// The matrix.
+        a: Matrix,
+        /// The input vectors (each of length `a.cols()`).
+        xs: Vec<Vec<f64>>,
+    },
     /// Solve `A·x = b`.
     SolveInv {
         /// The (square) matrix.
@@ -47,6 +56,7 @@ impl MatrixOp {
     fn output_len(&self) -> usize {
         match self {
             MatrixOp::Mvm { a, .. } => a.rows(),
+            MatrixOp::MvmBatch { a, xs } => a.rows() * xs.len(),
             MatrixOp::SolveInv { a, .. } => a.rows(),
             MatrixOp::SolvePinv { a, .. } => a.cols(),
             MatrixOp::SolveEgv { a } => a.rows(),
@@ -89,6 +99,7 @@ pub fn compile(ops: &[MatrixOp]) -> Result<CompiledProgram, CoreError> {
     for op in ops {
         let (a, vec_in) = match op {
             MatrixOp::Mvm { a, x } => (a, Some(x)),
+            MatrixOp::MvmBatch { a, .. } => (a, None), // staged separately below
             MatrixOp::SolveInv { a, b } => (a, Some(b)),
             MatrixOp::SolvePinv { a, b } => (a, Some(b)),
             MatrixOp::SolveEgv { a } => (a, None),
@@ -107,6 +118,26 @@ pub fn compile(ops: &[MatrixOp]) -> Result<CompiledProgram, CoreError> {
             };
             if v.len() != expected {
                 return Err(CoreError::ShapeMismatch { expected, found: v.len() });
+            }
+        }
+        if let MatrixOp::MvmBatch { xs, .. } = op {
+            if xs.is_empty() || xs.len() > u16::MAX as usize {
+                return Err(CoreError::InvalidArgument(
+                    "batched MVM needs 1..=65535 input vectors",
+                ));
+            }
+            // The ISA packs buffer lengths into 16-bit fields, so the
+            // concatenated src/dst runs must each fit in u16 — split
+            // oversized batches across several MvmBatch ops.
+            if xs.len() * cols > u16::MAX as usize || xs.len() * rows > u16::MAX as usize {
+                return Err(CoreError::InvalidArgument(
+                    "batched MVM buffers exceed the ISA's 16-bit length fields; split the batch",
+                ));
+            }
+            for x in xs {
+                if x.len() != cols {
+                    return Err(CoreError::ShapeMismatch { expected: cols, found: x.len() });
+                }
             }
         }
 
@@ -136,6 +167,15 @@ pub fn compile(ops: &[MatrixOp]) -> Result<CompiledProgram, CoreError> {
         instructions.push(match op {
             MatrixOp::Mvm { .. } => {
                 Instruction::Mvm { slot: 0, src: vec_ref.expect("mvm has input"), dst }
+            }
+            MatrixOp::MvmBatch { xs, .. } => {
+                // Stage the concatenated batch after the matrix.
+                let addr = image.len() as u32;
+                for x in xs {
+                    image.extend_from_slice(x);
+                }
+                let src = BufferRef::global(addr, (xs.len() * cols) as u32);
+                Instruction::MvmBatch { slot: 0, batch: xs.len() as u16, src, dst }
             }
             MatrixOp::SolveInv { .. } => {
                 Instruction::SolveInv { slot: 0, src: vec_ref.expect("inv has rhs"), dst }
@@ -186,17 +226,51 @@ mod tests {
     #[test]
     fn program_shape_is_sound() {
         let a = Matrix::identity(4);
-        let p = compile(&[
-            MatrixOp::Mvm { a: a.clone(), x: vec![1.0; 4] },
-            MatrixOp::SolveEgv { a },
-        ])
-        .unwrap();
+        let p =
+            compile(&[MatrixOp::Mvm { a: a.clone(), x: vec![1.0; 4] }, MatrixOp::SolveEgv { a }])
+                .unwrap();
         // 3 instructions per op + Halt.
         assert_eq!(p.instructions.len(), 7);
         assert_eq!(p.outputs.len(), 2);
         assert!(matches!(p.instructions.last(), Some(Instruction::Halt)));
         // Matrix data + vector staged in the image.
         assert_eq!(p.global_image.len(), 16 + 4 + 16);
+    }
+
+    #[test]
+    fn batched_mvm_compiles_and_executes() {
+        let mut rng = random::seeded_rng(72);
+        let a = random::gaussian_matrix(&mut rng, 4, 4);
+        let xs: Vec<Vec<f64>> = (0..5).map(|_| random::normal_vector(&mut rng, 4)).collect();
+        let program = compile(&[MatrixOp::MvmBatch { a: a.clone(), xs: xs.clone() }]).unwrap();
+        // LoadMatrix + MvmBatch + FreeMatrix + Halt.
+        assert_eq!(program.instructions.len(), 4);
+        let mut sys = GramcSystem::new(3, MacroConfig::small_ideal(4), 73, 4096);
+        let out = execute(&mut sys, &program, 10_000).unwrap();
+        assert_eq!(out[0].len(), 20);
+        for (k, x) in xs.iter().enumerate() {
+            let y_ref = a.matvec(x);
+            assert!(
+                vector::rel_error(&out[0][4 * k..4 * (k + 1)], &y_ref) < 0.05,
+                "batch element {k}"
+            );
+        }
+        assert!(matches!(
+            compile(&[MatrixOp::MvmBatch { a, xs: vec![] }]),
+            Err(CoreError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn batched_mvm_rejects_buffers_exceeding_isa_length_fields() {
+        // 600 vectors × 128 cols = 76800 words > u16::MAX: the 16-bit
+        // packed length fields would silently truncate on encode.
+        let a = Matrix::identity(128);
+        let xs = vec![vec![0.0; 128]; 600];
+        assert!(matches!(
+            compile(&[MatrixOp::MvmBatch { a, xs }]),
+            Err(CoreError::InvalidArgument(_))
+        ));
     }
 
     #[test]

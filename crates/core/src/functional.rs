@@ -59,7 +59,10 @@ pub enum Pooling {
 pub fn pool2d(map: &[f64], h: usize, w: usize, window: usize, kind: Pooling) -> Vec<f64> {
     assert!(window > 0, "window must be positive");
     assert_eq!(map.len(), h * w, "feature map length mismatch");
-    assert!(h % window == 0 && w % window == 0, "h and w must be multiples of window");
+    assert!(
+        h.is_multiple_of(window) && w.is_multiple_of(window),
+        "h and w must be multiples of window"
+    );
     let oh = h / window;
     let ow = w / window;
     let mut out = Vec::with_capacity(oh * ow);

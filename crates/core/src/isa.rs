@@ -96,6 +96,28 @@ pub enum Instruction {
         /// Result destination.
         dst: BufferRef,
     },
+    /// Batched analog MVM: `src` holds `batch` input vectors back to back
+    /// (`src.len / batch` words each) and `dst` receives the `batch` result
+    /// vectors back to back. One instruction dispatches the whole batch to
+    /// the macro group's batched fast path
+    /// ([`MacroGroup::mvm_batch`](crate::MacroGroup::mvm_batch)): the
+    /// conductances are read once and shared, which is how a layer of
+    /// im2col columns executes as a single analog operation.
+    ///
+    /// The binary encoding packs `src.len` and `dst.len` into 16-bit
+    /// fields (like [`Instruction::Mvm`]), so each concatenated run is
+    /// limited to 65535 words; `compiler::compile` rejects larger batches
+    /// — split them across several `MvmBatch` ops.
+    MvmBatch {
+        /// Operator slot.
+        slot: u8,
+        /// Number of input vectors packed in `src`.
+        batch: u16,
+        /// Concatenated input vectors.
+        src: BufferRef,
+        /// Concatenated result destination.
+        dst: BufferRef,
+    },
     /// Analog linear-system solve: `dst ← A[slot]⁻¹·src`.
     SolveInv {
         /// Operator slot.
@@ -314,6 +336,12 @@ impl Instruction {
             Instruction::LoopDec { counter, target } => {
                 [16 | (u32::from(target) << 16), 0, counter, 0]
             }
+            Instruction::MvmBatch { slot, batch, src, dst } => {
+                let (sa, sl) = pack_ref(src);
+                let (da, dl) = pack_ref(dst);
+                debug_assert!(sl < 1 << 16 && dl < 1 << 16, "batch too long for packed encoding");
+                [17 | (u32::from(slot) << 8) | (u32::from(batch) << 16), (sl << 16) | dl, sa, da]
+            }
         }
     }
 
@@ -342,7 +370,7 @@ impl Instruction {
                 }
             }
             5 => Some(Instruction::FreeMatrix { slot: ((words[0] >> 8) & 0xFF) as u8 }),
-            6 | 7 | 8 => {
+            6..=8 => {
                 let slot = ((words[0] >> 8) & 0xFF) as u8;
                 let sl = words[1] >> 16;
                 let dl = words[1] & 0xFFFF;
@@ -393,8 +421,15 @@ impl Instruction {
                 let b = unpack_ref(words[3], 1);
                 Some(Instruction::BranchIfLess { a, b, target: (words[0] >> 16) as u16 })
             }
-            16 => {
-                Some(Instruction::LoopDec { counter: words[2], target: (words[0] >> 16) as u16 })
+            16 => Some(Instruction::LoopDec { counter: words[2], target: (words[0] >> 16) as u16 }),
+            17 => {
+                let slot = ((words[0] >> 8) & 0xFF) as u8;
+                let batch = (words[0] >> 16) as u16;
+                let sl = words[1] >> 16;
+                let dl = words[1] & 0xFFFF;
+                let src = unpack_ref(words[2], sl);
+                let dst = unpack_ref(words[3], dl);
+                Some(Instruction::MvmBatch { slot, batch, src, dst })
             }
             _ => None,
         }
@@ -434,6 +469,12 @@ mod tests {
             src: BufferRef::global(100, 128),
             dst: BufferRef::output(0, 128),
         });
+        roundtrip(Instruction::MvmBatch {
+            slot: 4,
+            batch: 576,
+            src: BufferRef::global(2048, 14400),
+            dst: BufferRef::output(0, 3456),
+        });
         roundtrip(Instruction::SolveInv {
             slot: 0,
             src: BufferRef::global(7, 16),
@@ -462,10 +503,7 @@ mod tests {
             src: BufferRef::output(0, 10),
             dst: BufferRef::output(16, 10),
         });
-        roundtrip(Instruction::Copy {
-            src: BufferRef::output(5, 3),
-            dst: BufferRef::global(9, 3),
-        });
+        roundtrip(Instruction::Copy { src: BufferRef::output(5, 3), dst: BufferRef::global(9, 3) });
         roundtrip(Instruction::Jump { target: 42 });
         roundtrip(Instruction::BranchIfLess {
             a: BufferRef::global(1, 1),

@@ -117,10 +117,7 @@ impl Default for DigitalCostModel {
 
 impl DigitalCostModel {
     fn cost_for_flops(&self, flops: f64) -> Cost {
-        Cost {
-            latency: flops / self.flops_per_second,
-            energy: flops * self.energy_per_flop,
-        }
+        Cost { latency: flops / self.flops_per_second, energy: flops * self.energy_per_flop }
     }
 
     /// Cost of a digital `n × n` MVM (2n² FLOPs).

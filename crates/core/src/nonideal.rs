@@ -122,7 +122,9 @@ mod tests {
         assert_eq!(c.read_noise_rel, 0.0);
         assert_eq!(c.opamp_offset_sigma, 0.0);
         assert_eq!(c.d2d_i0_sigma, 0.0);
-        assert!(matches!(c.programming, ProgrammingMode::Direct { sigma_levels } if sigma_levels == 0.0));
+        assert!(
+            matches!(c.programming, ProgrammingMode::Direct { sigma_levels } if sigma_levels == 0.0)
+        );
     }
 
     #[test]

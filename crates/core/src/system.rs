@@ -15,7 +15,6 @@ use crate::error::CoreError;
 use crate::functional::{pool2d, softmax};
 use crate::isa::{BufferRef, Instruction, MemSpace};
 
-
 /// Condition flags of the controller (Fig. 3 "Flag Register").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FlagRegister {
@@ -288,6 +287,25 @@ impl GramcSystem {
                 self.write_ref(dst, &y)?;
                 self.stats.analog_ops += 1;
             }
+            Instruction::MvmBatch { slot, batch, src, dst } => {
+                let id = self.slot_operator(slot)?;
+                let data = self.read_buffer(src)?;
+                let b = batch as usize;
+                if b == 0 || data.len() % b != 0 {
+                    return Err(CoreError::IllegalInstruction {
+                        pc: self.pc,
+                        reason: "batch count does not divide the source run",
+                    });
+                }
+                let n = data.len() / b;
+                let xs: Vec<Vec<f64>> = data.chunks(n).map(<[f64]>::to_vec).collect();
+                let ys = self.group.mvm_batch(id, &xs)?;
+                let flat: Vec<f64> = ys.into_iter().flatten().collect();
+                self.write_ref(dst, &flat)?;
+                // One batched dispatch = one analog operation: the array is
+                // read once and every vector streams through it.
+                self.stats.analog_ops += 1;
+            }
             Instruction::SolveInv { slot, src, dst } => {
                 let id = self.slot_operator(slot)?;
                 let b = self.read_buffer(src)?;
@@ -457,6 +475,60 @@ mod tests {
     }
 
     #[test]
+    fn batched_mvm_program_matches_per_vector_instructions() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.2, 0.0, -0.3],
+            &[0.0, 0.8, 0.1, 0.0],
+            &[0.5, 0.0, 1.0, 0.2],
+            &[-0.2, 0.4, 0.0, 0.9],
+        ]);
+        let xs = [[1.0, -1.0, 0.5, 0.25], [0.2, 0.9, -0.4, 0.0], [-0.6, 0.1, 0.3, 1.0]];
+        let mut sys = small_system(4, 12);
+        sys.write_global(0, a.as_slice()).unwrap();
+        for (k, x) in xs.iter().enumerate() {
+            sys.write_global(16 + 4 * k, x).unwrap();
+        }
+        sys.load_program(vec![
+            Instruction::LoadMatrix { slot: 0, rows: 4, cols: 4, src: BufferRef::global(0, 16) },
+            Instruction::MvmBatch {
+                slot: 0,
+                batch: 3,
+                src: BufferRef::global(16, 12),
+                dst: BufferRef::output(0, 12),
+            },
+            Instruction::Halt,
+        ]);
+        let stats = sys.run(100).unwrap();
+        assert_eq!(stats.analog_ops, 1, "one batched dispatch = one analog op");
+        let y = sys.read_output(BufferRef::output(0, 12)).unwrap();
+        for (k, x) in xs.iter().enumerate() {
+            let y_ref = a.matvec(x);
+            assert!(
+                vector::rel_error(&y[4 * k..4 * (k + 1)], &y_ref) < 0.02,
+                "batch element {k}: {:?} vs {y_ref:?}",
+                &y[4 * k..4 * (k + 1)]
+            );
+        }
+    }
+
+    #[test]
+    fn batched_mvm_rejects_indivisible_batch() {
+        let mut sys = small_system(4, 13);
+        let a = Matrix::identity(4);
+        sys.write_global(0, a.as_slice()).unwrap();
+        sys.load_program(vec![
+            Instruction::LoadMatrix { slot: 0, rows: 4, cols: 4, src: BufferRef::global(0, 16) },
+            Instruction::MvmBatch {
+                slot: 0,
+                batch: 5, // 12 words do not split into 5 vectors
+                src: BufferRef::global(16, 12),
+                dst: BufferRef::output(0, 12),
+            },
+        ]);
+        assert!(matches!(sys.run(10), Err(CoreError::IllegalInstruction { .. })));
+    }
+
+    #[test]
     fn solve_program_with_functional_postprocessing() {
         let mut sys = small_system(4, 5);
         let mut rng = random::seeded_rng(60);
@@ -557,12 +629,8 @@ mod tests {
         // macro claimed (no leak).
         let a = Matrix::from_fn(4, 2, |i, j| 1.0 + (i * 2 + j) as f64 / 8.0);
         sys.write_global(0, a.as_slice()).unwrap();
-        let load = Instruction::LoadMatrix {
-            slot: 0,
-            rows: 4,
-            cols: 2,
-            src: BufferRef::global(0, 8),
-        };
+        let load =
+            Instruction::LoadMatrix { slot: 0, rows: 4, cols: 2, src: BufferRef::global(0, 8) };
         sys.load_program(vec![load, load, load, Instruction::Halt]);
         sys.run(100).unwrap();
         assert!(sys.macro_group().free_macros() >= 2);
@@ -574,11 +642,9 @@ mod tests {
         let mut rng = random::seeded_rng(61);
         let a = random::spd_with_condition(&mut rng, 4, 3.0);
         let b = random::normal_vector(&mut rng, 4);
-        let program = compiler::compile(&[compiler::MatrixOp::SolveInv {
-            a: a.clone(),
-            b: b.clone(),
-        }])
-        .unwrap();
+        let program =
+            compiler::compile(&[compiler::MatrixOp::SolveInv { a: a.clone(), b: b.clone() }])
+                .unwrap();
         let mut sys = small_system(4, 11);
         let outputs = compiler::execute(&mut sys, &program, 10_000).unwrap();
         let x_ref = lu::solve(&a, &b).unwrap();

@@ -151,8 +151,7 @@ impl TiledOperator {
                 let id = self.tiles[ri][ci];
                 let info = group.operator_info(id)?;
                 let (tr, tc) = (info.rows, info.cols);
-                let slices: Vec<Vec<f64>> =
-                    xs.iter().map(|x| x[c0..c0 + tc].to_vec()).collect();
+                let slices: Vec<Vec<f64>> = xs.iter().map(|x| x[c0..c0 + tc].to_vec()).collect();
                 let partials = group.mvm_batch(id, &slices)?;
                 for (y, partial) in ys.iter_mut().zip(&partials) {
                     for (k, p) in partial.iter().enumerate().take(tr) {
@@ -240,7 +239,7 @@ mod tests {
         let before = group.free_macros();
         tiled.free(&mut group).unwrap();
         assert!(group.free_macros() > before);
-        assert!(tiled.mvm(&mut group, &vec![0.0; 8]).is_err());
+        assert!(tiled.mvm(&mut group, &[0.0; 8]).is_err());
         assert!(tiled.free(&mut group).is_err());
     }
 
@@ -249,9 +248,6 @@ mod tests {
         let mut group = MacroGroup::new(2, MacroConfig::small_ideal(4), 24);
         let a = Matrix::identity(4);
         let tiled = TiledOperator::load(&mut group, &a, TileMapping::FourBit).unwrap();
-        assert!(matches!(
-            tiled.mvm(&mut group, &[1.0; 3]),
-            Err(CoreError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(tiled.mvm(&mut group, &[1.0; 3]), Err(CoreError::ShapeMismatch { .. })));
     }
 }

@@ -46,10 +46,10 @@ fn skeleton(digit: usize) -> Vec<Vec<(f64, f64)>> {
             p(14.0, 8.0),
             p(6.0, 10.0),
         ]],
-        1 => vec![vec![p(6.0, 11.0), p(4.0, 14.0), p(24.0, 14.0)], vec![
-            p(24.0, 10.0),
-            p(24.0, 18.0),
-        ]],
+        1 => vec![
+            vec![p(6.0, 11.0), p(4.0, 14.0), p(24.0, 14.0)],
+            vec![p(24.0, 10.0), p(24.0, 18.0)],
+        ],
         2 => vec![vec![
             p(7.0, 9.0),
             p(4.0, 14.0),
@@ -71,10 +71,9 @@ fn skeleton(digit: usize) -> Vec<Vec<(f64, f64)>> {
             p(24.0, 12.0),
             p(22.0, 9.0),
         ]],
-        4 => vec![
-            vec![p(4.0, 16.0), p(16.0, 8.0), p(16.0, 20.0)],
-            vec![p(4.0, 16.0), p(24.0, 16.0)],
-        ],
+        4 => {
+            vec![vec![p(4.0, 16.0), p(16.0, 8.0), p(16.0, 20.0)], vec![p(4.0, 16.0), p(24.0, 16.0)]]
+        }
         5 => vec![vec![
             p(4.0, 19.0),
             p(4.0, 9.0),
@@ -193,8 +192,7 @@ impl DigitsDataset {
     /// labels.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, n_train: usize, n_test: usize) -> Self {
         let make = |rng: &mut R, n: usize| -> Vec<DigitImage> {
-            let mut images: Vec<DigitImage> =
-                (0..n).map(|i| render_digit(rng, i % 10)).collect();
+            let mut images: Vec<DigitImage> = (0..n).map(|i| render_digit(rng, i % 10)).collect();
             // Fisher–Yates shuffle.
             for i in (1..images.len()).rev() {
                 let j = rng.gen_range(0..=i);
@@ -254,11 +252,9 @@ mod tests {
         let m7 = mean_img(7, &mut rng);
         // Remove the shared noise floor before comparing: class identity
         // lives in the deviation from the across-class mean.
-        let global: Vec<f64> =
-            (0..784).map(|i| (m0[i] + m1[i] + m7[i]) / 3.0).collect();
-        let center = |m: &[f64]| -> Vec<f64> {
-            m.iter().zip(&global).map(|(a, g)| a - g).collect()
-        };
+        let global: Vec<f64> = (0..784).map(|i| (m0[i] + m1[i] + m7[i]) / 3.0).collect();
+        let center =
+            |m: &[f64]| -> Vec<f64> { m.iter().zip(&global).map(|(a, g)| a - g).collect() };
         let (c0, c1, c7) = (center(&m0), center(&m1), center(&m7));
         assert!(cos(&c0, &c1) < 0.5, "0 vs 1 too similar: {}", cos(&c0, &c1));
         assert!(cos(&c1, &c7) < 0.5, "1 vs 7 too similar: {}", cos(&c1, &c7));

@@ -78,8 +78,7 @@ impl OneTOneR {
         i0_rel_sigma: f64,
         g0_rel_sigma: f64,
     ) -> Self {
-        let device =
-            RramDevice::new(device_params).with_variation(rng, i0_rel_sigma, g0_rel_sigma);
+        let device = RramDevice::new(device_params).with_variation(rng, i0_rel_sigma, g0_rel_sigma);
         Self { device, nmos, noise, pulses_applied: 0 }
     }
 

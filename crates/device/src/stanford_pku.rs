@@ -177,8 +177,7 @@ impl RramDevice {
         if self.params.r_th > 0.0 {
             let power = (v * self.current(v)).abs();
             let t = T_AMBIENT + power * self.params.r_th;
-            let accel =
-                (self.params.ea / K_B_OVER_Q * (1.0 / T_AMBIENT - 1.0 / t)).exp();
+            let accel = (self.params.ea / K_B_OVER_Q * (1.0 / T_AMBIENT - 1.0 / t)).exp();
             base * accel
         } else {
             base
@@ -262,8 +261,7 @@ mod tests {
 
     #[test]
     fn reset_polarity_decreases_conductance() {
-        let mut dev =
-            RramDevice::with_conductance(DeviceParams::default(), 80.0 * MICRO_SIEMENS);
+        let mut dev = RramDevice::with_conductance(DeviceParams::default(), 80.0 * MICRO_SIEMENS);
         let g0 = dev.read_conductance();
         dev.apply_voltage(-1.2, 30e-9);
         assert!(dev.read_conductance() < g0);
@@ -271,8 +269,7 @@ mod tests {
 
     #[test]
     fn zero_bias_is_nonvolatile() {
-        let mut dev =
-            RramDevice::with_conductance(DeviceParams::default(), 40.0 * MICRO_SIEMENS);
+        let mut dev = RramDevice::with_conductance(DeviceParams::default(), 40.0 * MICRO_SIEMENS);
         let g0 = dev.read_conductance();
         dev.apply_voltage(0.0, 1.0); // a full second at zero bias
         assert_eq!(dev.read_conductance(), g0);

@@ -196,11 +196,7 @@ mod tests {
 
     #[test]
     fn reconstruction_v_lambda_vt() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.5],
-            &[0.5, -0.5, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.5], &[0.5, -0.5, 2.0]]);
         let e = SymmetricEigen::new(&a).unwrap();
         let lam = Matrix::from_diag(&e.eigenvalues);
         let rec = e.eigenvectors.matmul(&lam).matmul(&e.eigenvectors.transpose());
@@ -225,11 +221,7 @@ mod tests {
 
     #[test]
     fn power_iteration_matches_jacobi() {
-        let a = Matrix::from_rows(&[
-            &[5.0, 1.0, 0.0],
-            &[1.0, 4.0, 1.0],
-            &[0.0, 1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[5.0, 1.0, 0.0], &[1.0, 4.0, 1.0], &[0.0, 1.0, 3.0]]);
         let e = SymmetricEigen::new(&a).unwrap();
         let p = power_iteration(&a, 5000, 1e-12).unwrap();
         assert!((p.value - e.eigenvalues[0]).abs() < 1e-8);

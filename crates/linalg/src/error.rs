@@ -49,10 +49,9 @@ impl fmt::Display for LinalgError {
             LinalgError::Singular { pivot } => {
                 write!(f, "matrix is singular to working precision at pivot {pivot}")
             }
-            LinalgError::NoConvergence { iterations, residual } => write!(
-                f,
-                "no convergence after {iterations} iterations (residual {residual:.3e})"
-            ),
+            LinalgError::NoConvergence { iterations, residual } => {
+                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
+            }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

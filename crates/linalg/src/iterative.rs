@@ -60,12 +60,7 @@ pub fn conjugate_gradient(
         let pap = dot(&p, &ap);
         if pap <= 0.0 {
             // Not SPD along this direction; bail out with current estimate.
-            return Ok(IterativeSolution {
-                x,
-                iterations: it,
-                residual: res,
-                converged: false,
-            });
+            return Ok(IterativeSolution { x, iterations: it, residual: res, converged: false });
         }
         let alpha = rs_old / pap;
         axpy(alpha, &p, &mut x);
@@ -129,7 +124,7 @@ mod tests {
         let a = spd_with_condition(&mut rng, 20, 50.0);
         let x_true = normal_vector(&mut rng, 20);
         let b = a.matvec(&x_true);
-        let sol = conjugate_gradient(&a, &b, &vec![0.0; 20], 1e-12, 200).unwrap();
+        let sol = conjugate_gradient(&a, &b, &[0.0; 20], 1e-12, 200).unwrap();
         assert!(sol.converged);
         for (u, v) in sol.x.iter().zip(&x_true) {
             assert!((u - v).abs() < 1e-8);

@@ -43,6 +43,7 @@ mod matrix;
 pub mod eigen;
 pub mod iterative;
 pub mod lu;
+pub mod parallel;
 pub mod qr;
 pub mod random;
 pub mod svd;

@@ -181,6 +181,15 @@ impl Matrix {
 
     /// Matrix–matrix product `self · rhs`.
     ///
+    /// This is the blocked fast path: output rows are processed in groups of
+    /// four so every loaded `rhs` row feeds four accumulator rows (4× less
+    /// memory traffic than the row-at-a-time i-k-j loop), and with the
+    /// `parallel` feature the row blocks are distributed over scoped threads
+    /// (see [`crate::parallel`]). Each output element accumulates over `k`
+    /// in ascending order regardless of blocking or thread count, so for
+    /// finite inputs the result is bit-identical to
+    /// [`matmul_reference`](Self::matmul_reference).
+    ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
@@ -190,19 +199,45 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let bc = rhs.cols;
+        let mut out = Matrix::zeros(self.rows, bc);
+        if bc == 0 || self.cols == 0 || self.rows == 0 {
+            return out;
+        }
+        // Unit of scheduling: MATMUL_ROW_BLOCK output rows (a multiple of
+        // the 4-row micro-kernel height).
+        let chunk_len = MATMUL_ROW_BLOCK * bc;
+        crate::parallel::for_each_chunk_mut(&mut out.data, chunk_len, |start, chunk| {
+            matmul_row_block(chunk, start / bc, self, rhs);
+        });
+        out
+    }
+
+    /// Textbook i-j-k triple-loop product (column-strided RHS access, no
+    /// blocking, no threads).
+    ///
+    /// This is the deliberately unoptimized baseline: the perf benches time
+    /// [`matmul`](Self::matmul) against it, and the equality tests assert
+    /// the two agree bit-for-bit (both accumulate over `k` in ascending
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop contiguous for both operands.
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
+            for j in 0..rhs.cols {
+                let mut sum = 0.0;
+                for k in 0..self.cols {
+                    sum += self[(i, k)] * rhs[(k, j)];
                 }
-                let rrow = rhs.row(k);
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += aik * r;
-                }
+                out[(i, j)] = sum;
             }
         }
         out
@@ -215,9 +250,7 @@ impl Matrix {
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Transposed matrix–vector product `selfᵀ · x`.
@@ -299,9 +332,7 @@ impl Matrix {
 
     /// Induced ∞-norm (maximum absolute row sum).
     pub fn inf_norm(&self) -> f64 {
-        (0..self.rows)
-            .map(|i| self.row(i).iter().map(|v| v.abs()).sum())
-            .fold(0.0_f64, f64::max)
+        (0..self.rows).map(|i| self.row(i).iter().map(|v| v.abs()).sum()).fold(0.0_f64, f64::max)
     }
 
     /// Sum of diagonal entries.
@@ -382,6 +413,63 @@ impl Matrix {
         let mut data = self.data.clone();
         data.extend_from_slice(&rhs.data);
         Ok(Matrix { rows: self.rows + rhs.rows, cols: self.cols, data })
+    }
+}
+
+/// Output rows per scheduling unit of [`Matrix::matmul`] (multiple of the
+/// 4-row micro-kernel height; big enough that thread hand-off cost is noise).
+const MATMUL_ROW_BLOCK: usize = 32;
+
+/// Computes output rows `row0 ..` of `a · b` into `chunk` (a zeroed slice of
+/// whole output rows). Rows are processed four at a time so each `b` row
+/// loaded from memory updates four accumulator rows.
+fn matmul_row_block(chunk: &mut [f64], row0: usize, a: &Matrix, b: &Matrix) {
+    let bc = b.cols;
+    let inner = a.cols;
+    let nrows = chunk.len() / bc;
+    let mut rest = chunk;
+    let mut i = row0;
+    let end = row0 + nrows;
+    while i + 4 <= end {
+        let (block, tail) = rest.split_at_mut(4 * bc);
+        let (r0, block) = block.split_at_mut(bc);
+        let (r1, block) = block.split_at_mut(bc);
+        let (r2, r3) = block.split_at_mut(bc);
+        for k in 0..inner {
+            let a0 = a.data[i * inner + k];
+            let a1 = a.data[(i + 1) * inner + k];
+            let a2 = a.data[(i + 2) * inner + k];
+            let a3 = a.data[(i + 3) * inner + k];
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                continue;
+            }
+            let brow = &b.data[k * bc..(k + 1) * bc];
+            let rows = r0.iter_mut().zip(r1.iter_mut()).zip(r2.iter_mut()).zip(r3.iter_mut());
+            for ((((o0, o1), o2), o3), &bv) in rows.zip(brow) {
+                *o0 += a0 * bv;
+                *o1 += a1 * bv;
+                *o2 += a2 * bv;
+                *o3 += a3 * bv;
+            }
+        }
+        rest = tail;
+        i += 4;
+    }
+    // Remaining 1–3 rows: plain row-at-a-time axpy.
+    while i < end {
+        let (row, tail) = rest.split_at_mut(bc);
+        for k in 0..inner {
+            let aik = a.data[i * inner + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b.data[k * bc..(k + 1) * bc];
+            for (o, &bv) in row.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+        rest = tail;
+        i += 1;
     }
 }
 
@@ -550,6 +638,36 @@ mod tests {
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = a.matmul(&b);
         assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_matches_reference_bitwise() {
+        // Fast path (4-row micro-kernel, row-block scheduling, possibly
+        // threaded) must agree with the textbook triple loop bit-for-bit —
+        // shapes chosen to hit the 4-row kernel, the 1–3 row tail, and
+        // multiple scheduling chunks.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 2), (4, 4, 4), (7, 9, 5), (70, 33, 41)]
+        {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * k + j) as f64 * 0.7).sin());
+            let b = Matrix::from_fn(k, n, |i, j| ((i * n + j) as f64 * 1.3).cos());
+            let fast = a.matmul(&b);
+            let slow = a.matmul_reference(&b);
+            assert_eq!(fast.shape(), slow.shape());
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!(x.to_bits() == y.to_bits(), "{m}x{k}·{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_degenerate_shapes() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        assert_eq!(a.matmul(&b).shape(), (0, 2));
+        let c = Matrix::zeros(2, 0);
+        let d = Matrix::zeros(0, 4);
+        assert_eq!(c.matmul(&d).shape(), (2, 4));
+        assert!(c.matmul(&d).as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Feature-gated data parallelism built on `std::thread::scope`.
+//!
+//! The build environment cannot fetch rayon, so the `parallel` cargo feature
+//! (on by default) enables a small scoped-thread fork/join layer with the
+//! same work-splitting shape rayon's `par_chunks_mut` would give us. With
+//! the feature disabled — or on a single-core host, or for work below the
+//! splitting threshold — every helper degrades to the serial loop, so
+//! results are identical either way (the kernels themselves are
+//! deterministic; parallelism only splits disjoint output ranges).
+//!
+//! Thread count comes from [`max_threads`]: the `GRAMC_THREADS` environment
+//! variable if set, else [`std::thread::available_parallelism`].
+
+/// Whether this build of `gramc-linalg` has the `parallel` feature enabled
+/// (reported by benches; `cfg!` in a downstream crate sees only that
+/// crate's own features).
+pub fn feature_enabled() -> bool {
+    cfg!(feature = "parallel")
+}
+
+/// Maximum worker threads for data-parallel kernels.
+///
+/// Honors `GRAMC_THREADS` (values `0`/unparsable fall back to the detected
+/// parallelism). Always at least 1. Resolved once per process — the env
+/// lookup and `available_parallelism` syscall would otherwise run on every
+/// kernel call, including tiny ones.
+pub fn max_threads() -> usize {
+    static MAX_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MAX_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("GRAMC_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Runs `f(start_index, chunk)` over `chunk_len`-sized disjoint chunks of
+/// `data`, in parallel when the feature is on and splitting is worthwhile.
+///
+/// `start_index` is the offset of `chunk` inside `data`. Chunks are the unit
+/// of scheduling: each worker thread processes a contiguous run of chunks,
+/// so `f` must not rely on any cross-chunk ordering.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len).max(1);
+    let threads = threads_for(n_chunks);
+    if threads <= 1 {
+        for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(c * chunk_len, chunk);
+        }
+        return;
+    }
+    run_parallel(data, chunk_len, threads, &f);
+}
+
+/// Number of worker threads to use for `pieces` independent work items.
+fn threads_for(pieces: usize) -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        max_threads().min(pieces)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = pieces;
+        1
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn run_parallel<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    // Hand each worker a contiguous run of whole chunks, offset-tagged so
+    // the callback sees the same indices as the serial path.
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let chunks_per_worker = n_chunks.div_ceil(threads);
+    let stride = chunks_per_worker * chunk_len;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut offset = 0usize;
+        while !rest.is_empty() {
+            let take = stride.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let base = offset;
+            scope.spawn(move || {
+                for (c, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(base + c * chunk_len, chunk);
+                }
+            });
+            rest = tail;
+            offset += take;
+        }
+    });
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_parallel<T, F>(data: &mut [T], chunk_len: usize, _threads: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        f(c * chunk_len, chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_element_exactly_once() {
+        let mut data = vec![0u32; 1003];
+        for_each_chunk_mut(&mut data, 64, |_, chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn offsets_match_serial_enumeration() {
+        let mut data = vec![0usize; 257];
+        for_each_chunk_mut(&mut data, 32, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = start + k;
+            }
+        });
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, k);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let mut empty: Vec<f64> = Vec::new();
+        for_each_chunk_mut(&mut empty, 8, |_, _| panic!("no chunks expected"));
+        let mut one = vec![1.0f64];
+        for_each_chunk_mut(&mut one, 8, |start, chunk| {
+            assert_eq!(start, 0);
+            chunk[0] = 2.0;
+        });
+        assert_eq!(one[0], 2.0);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

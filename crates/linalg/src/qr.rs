@@ -218,13 +218,16 @@ mod tests {
 
     #[test]
     fn square_reconstruction() {
-        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]]);
+        let a =
+            Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]]);
         reconstructs(&a, 1e-10);
     }
 
     #[test]
     fn tall_reconstruction() {
-        let a = Matrix::from_fn(7, 3, |i, j| ((i * 3 + j) as f64).sin() + if i == j { 2.0 } else { 0.0 });
+        let a = Matrix::from_fn(7, 3, |i, j| {
+            ((i * 3 + j) as f64).sin() + if i == j { 2.0 } else { 0.0 }
+        });
         reconstructs(&a, 1e-12);
     }
 

@@ -106,13 +106,18 @@ pub fn spd_with_condition<R: Rng + ?Sized>(rng: &mut R, n: usize, cond: f64) -> 
 /// A diagonally dominant matrix with random off-diagonal couplings — always
 /// non-singular, representative of discretized PDE operators.
 pub fn diagonally_dominant<R: Rng + ?Sized>(rng: &mut R, n: usize, coupling: f64) -> Matrix {
-    let mut m = Matrix::from_fn(n, n, |i, j| {
-        if i == j {
-            0.0
-        } else {
-            coupling * (rng.gen::<f64>() * 2.0 - 1.0)
-        }
-    });
+    let mut m =
+        Matrix::from_fn(
+            n,
+            n,
+            |i, j| {
+                if i == j {
+                    0.0
+                } else {
+                    coupling * (rng.gen::<f64>() * 2.0 - 1.0)
+                }
+            },
+        );
     for i in 0..n {
         let row_sum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
         m[(i, i)] = row_sum + 1.0;

@@ -221,7 +221,9 @@ mod tests {
 
     #[test]
     fn pinv_satisfies_moore_penrose_conditions() {
-        let a = Matrix::from_fn(6, 3, |i, j| ((i as f64) * 0.7 + (j as f64) * 1.3).cos() + if i == j { 1.5 } else { 0.0 });
+        let a = Matrix::from_fn(6, 3, |i, j| {
+            ((i as f64) * 0.7 + (j as f64) * 1.3).cos() + if i == j { 1.5 } else { 0.0 }
+        });
         let p = pseudoinverse(&a).unwrap();
         let apa = a.matmul(&p).matmul(&a);
         assert!(apa.approx_eq(&a, 1e-9), "A·A⁺·A != A");
@@ -251,7 +253,8 @@ mod tests {
 
     #[test]
     fn least_squares_via_pinv_matches_qr() {
-        let a = Matrix::from_fn(8, 3, |i, j| ((i + j) as f64).sin() + if j == 0 { 1.0 } else { 0.0 });
+        let a =
+            Matrix::from_fn(8, 3, |i, j| ((i + j) as f64).sin() + if j == 0 { 1.0 } else { 0.0 });
         let b: Vec<f64> = (0..8).map(|i| (i as f64) * 0.3 - 1.0).collect();
         let x_pinv = pseudoinverse(&a).unwrap().matvec(&b);
         let x_qr = crate::qr::least_squares(&a, &b).unwrap();

@@ -151,11 +151,8 @@ impl GramcLenet {
                 v
             })
             .collect();
-        let a2 = self.layer_batch(
-            &self.model.fc2.weights.clone(),
-            &self.model.fc2.bias.clone(),
-            &a1,
-        )?;
+        let a2 =
+            self.layer_batch(&self.model.fc2.weights.clone(), &self.model.fc2.bias.clone(), &a1)?;
         let a2: Vec<Vec<f64>> = a2
             .into_iter()
             .map(|mut v| {
@@ -263,10 +260,7 @@ mod tests {
         let mut backend = GramcLenet::new(
             net,
             Precision::Int4,
-            MacroConfig {
-                nonideal: NonidealityConfig::paper_default(),
-                ..MacroConfig::default()
-            },
+            MacroConfig { nonideal: NonidealityConfig::paper_default(), ..MacroConfig::default() },
             16,
             122,
         )
@@ -278,14 +272,8 @@ mod tests {
     #[test]
     fn int8_backend_runs_and_is_accurate() {
         let (net, images, labels) = trained_model();
-        let mut backend = GramcLenet::new(
-            net,
-            Precision::Int8,
-            MacroConfig::default(),
-            16,
-            123,
-        )
-        .unwrap();
+        let mut backend =
+            GramcLenet::new(net, Precision::Int8, MacroConfig::default(), 16, 123).unwrap();
         let hw = backend.evaluate(&images[..8], &labels[..8]).unwrap();
         assert!(hw >= 0.9, "INT8 analog accuracy {hw}");
     }

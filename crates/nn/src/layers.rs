@@ -77,7 +77,12 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a convolution with He-initialized weights.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_channels: usize, out_channels: usize, k: usize) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+    ) -> Self {
         let fan_in = in_channels * k * k;
         Self {
             weights: he_init(rng, out_channels, fan_in, fan_in),
@@ -179,7 +184,6 @@ impl Conv2d {
         }
     }
 }
-
 
 /// Max pooling with a square window and stride equal to the window.
 #[derive(Debug, Clone)]
@@ -401,8 +405,7 @@ mod tests {
         let ax = im2col(&x, 3);
         let aty = col2im(&y, 2, 4, 4, 3);
         let lhs: f64 = ax.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f64 =
-            x.as_slice().iter().zip(aty.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.as_slice().iter().zip(aty.as_slice()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
     }
 

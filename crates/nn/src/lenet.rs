@@ -62,7 +62,10 @@ impl LeNet5 {
 
     /// Forward pass keeping the ReLU masks for backward.
     #[allow(clippy::type_complexity)]
-    fn forward_cached(&mut self, image: &Tensor3) -> (Vec<f64>, (Vec<bool>, Vec<bool>, Vec<bool>, Vec<bool>)) {
+    fn forward_cached(
+        &mut self,
+        image: &Tensor3,
+    ) -> (Vec<f64>, (Vec<bool>, Vec<bool>, Vec<bool>, Vec<bool>)) {
         let c1 = self.conv1.forward(image);
         let (r1, m1) = relu_forward(&c1);
         let p1 = self.pool1.forward(&r1);
@@ -156,11 +159,8 @@ impl LeNet5 {
         if images.is_empty() {
             return 0.0;
         }
-        let correct = images
-            .iter()
-            .zip(labels)
-            .filter(|(img, &lab)| self.predict(img) == lab)
-            .count();
+        let correct =
+            images.iter().zip(labels).filter(|(img, &lab)| self.predict(img) == lab).count();
         correct as f64 / images.len() as f64
     }
 }

@@ -97,7 +97,7 @@ mod tests {
         let mut t = Tensor3::zeros(2, 3, 4);
         t.set(1, 2, 3, 7.0);
         assert_eq!(t.get(1, 2, 3), 7.0);
-        assert_eq!(t.as_slice()[(1 * 3 + 2) * 4 + 3], 7.0);
+        assert_eq!(t.as_slice()[(3 + 2) * 4 + 3], 7.0);
         assert_eq!(t.channel(1)[2 * 4 + 3], 7.0);
     }
 

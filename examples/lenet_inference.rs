@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // keep the raw lr small and decay it per epoch (fixed-rate momentum SGD
     // can diverge late in training).
     for epoch in 0..5 {
-        let lr = 0.002 * 0.75_f64.powi(epoch as i32);
+        let lr = 0.002 * 0.75_f64.powi(epoch);
         let stats = net.train_epoch(&train, &train_labels, lr, 0.9);
         println!(
             "  epoch {epoch}: loss {:.4}, train accuracy {:.1} %",
@@ -46,13 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Analog inference on a full 16-macro, 128×128 GRAMC system.
     let _ = MacroGroup::new(1, MacroConfig::small_ideal(2), 0); // facade smoke use
-    let mut int4 =
-        GramcLenet::new(net.clone(), Precision::Int4, MacroConfig::default(), 16, 9)?;
+    let mut int4 = GramcLenet::new(net.clone(), Precision::Int4, MacroConfig::default(), 16, 9)?;
     let acc4 = int4.evaluate(&test, &test_labels)?;
     println!("GRAMC INT4 analog accuracy: {:.2} %", 100.0 * acc4);
 
-    let mut int8 =
-        GramcLenet::new(net, Precision::Int8, MacroConfig::default(), 16, 10)?;
+    let mut int8 = GramcLenet::new(net, Precision::Int8, MacroConfig::default(), 16, 10)?;
     let acc8 = int8.evaluate(&test, &test_labels)?;
     println!("GRAMC INT8 analog accuracy: {:.2} %", 100.0 * acc8);
 

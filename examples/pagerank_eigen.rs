@@ -15,8 +15,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the eigenvector centrality of S ranks influence.
     let n = 12;
     let citations: &[(usize, usize)] = &[
-        (0, 1), (0, 2), (1, 2), (3, 2), (4, 2), (5, 2), (2, 6), (6, 7),
-        (8, 6), (9, 6), (10, 9), (11, 9), (9, 2), (7, 0), (5, 6), (4, 1),
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (3, 2),
+        (4, 2),
+        (5, 2),
+        (2, 6),
+        (6, 7),
+        (8, 6),
+        (9, 6),
+        (10, 9),
+        (11, 9),
+        (9, 2),
+        (7, 0),
+        (5, 6),
+        (4, 1),
     ];
     let mut inc = Matrix::zeros(n, n);
     for &(from, to) in citations {

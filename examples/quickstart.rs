@@ -44,9 +44,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same macro was *reconfigured* between the two runs — that is the
     // paper's central claim.
-    println!(
-        "\nmacro 0 register mode after the solve: {}",
-        group.macro_at(0)?.registers().mode()
-    );
+    println!("\nmacro 0 register mode after the solve: {}", group.macro_at(0)?.registers().mode());
     Ok(())
 }

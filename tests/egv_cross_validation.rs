@@ -21,13 +21,12 @@ fn behavioural_egv(dg: &Matrix, g_lambda: f64, v_sat: f64, n: usize) -> Vec<f64>
     let mut u: Vec<f64> = (0..n).map(|k| 1e-3 * (((k * 37 + 11) % 17) as f64 - 8.0)).collect();
     for _ in 0..200_000 {
         let w = dg.matvec(&u);
-        let next: Vec<f64> =
-            w.iter().map(|wi| (wi / g_lambda).clamp(-v_sat, v_sat)).collect();
+        let next: Vec<f64> = w.iter().map(|wi| (wi / g_lambda).clamp(-v_sat, v_sat)).collect();
         let (nd, _) = vector::normalize(&next);
         let (ud, _) = vector::normalize(&u);
         let delta = vector::rel_error_up_to_sign(&nd, &ud);
-        let amp = (vector::norm2(&next) - vector::norm2(&u)).abs()
-            / vector::norm2(&next).max(1e-30);
+        let amp =
+            (vector::norm2(&next) - vector::norm2(&u)).abs() / vector::norm2(&next).max(1e-30);
         u = next;
         if delta < 1e-12 && amp < 1e-12 {
             break;
@@ -64,7 +63,8 @@ fn behavioural_fixed_point_matches_circuit_transient() {
     let t = topology::build_egv(&gp, &gn, g_lambda, OpampModel::with_gain(1e4)).unwrap();
     let n_ops = t.circuit.opamp_count();
     let seed: Vec<f64> = (0..n_ops).map(|k| 1e-4 * ((k % 5) as f64 - 2.0)).collect();
-    let cfg = TransientConfig { dt: Some(2e-11), t_max: 2e-6, settle_tol: 1e-6, ..Default::default() };
+    let cfg =
+        TransientConfig { dt: Some(2e-11), t_max: 2e-6, settle_tol: 1e-6, ..Default::default() };
     let tr = transient_solve(&t.circuit, &seed, &cfg).unwrap();
     let x_raw = tr.voltages(&t.x_nodes);
     let (x_circ, norm_circ) = vector::normalize(&x_raw);
@@ -98,8 +98,5 @@ fn both_implementations_decay_when_lambda_overshoots() {
     let seed: Vec<f64> = (0..n_ops).map(|k| 1e-3 * ((k % 3) as f64 - 1.0)).collect();
     let cfg = TransientConfig { dt: Some(2e-11), t_max: 2e-6, ..Default::default() };
     let tr = transient_solve(&t.circuit, &seed, &cfg).unwrap();
-    assert!(
-        vector::norm2(&tr.voltages(&t.x_nodes)) < 1e-4,
-        "circuit should decay when λ̂ > λ₁"
-    );
+    assert!(vector::norm2(&tr.voltages(&t.x_nodes)) < 1e-4, "circuit should decay when λ̂ > λ₁");
 }

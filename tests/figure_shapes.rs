@@ -66,8 +66,7 @@ fn fig4_error_band_at_reduced_scale() {
 
     let quantized = group.operator_info(op).unwrap().quantized.clone();
     let x_sol = group.solve_inv(op, &x).unwrap();
-    let inv_err =
-        vector::rel_error(&x_sol, &gramc::linalg::lu::solve(&quantized, &x).unwrap());
+    let inv_err = vector::rel_error(&x_sol, &gramc::linalg::lu::solve(&quantized, &x).unwrap());
     assert!(inv_err > 0.001 && inv_err < 0.25, "INV {inv_err}");
 }
 
@@ -95,8 +94,7 @@ fn fig5_precision_ordering_holds_at_reduced_scale() {
     assert!(fp32 > 0.35, "software model degenerate: {fp32}");
 
     let cfg = MacroConfig { nonideal: NonidealityConfig::paper_default(), ..Default::default() };
-    let mut int8 =
-        GramcLenet::new(net.clone(), Precision::Int8, cfg.clone(), 16, 305).unwrap();
+    let mut int8 = GramcLenet::new(net.clone(), Precision::Int8, cfg.clone(), 16, 305).unwrap();
     let acc8 = int8.evaluate(&test, &test_labels).unwrap();
     let mut int4 = GramcLenet::new(net, Precision::Int4, cfg, 16, 306).unwrap();
     let acc4 = int4.evaluate(&test, &test_labels).unwrap();

@@ -12,7 +12,12 @@ use gramc::linalg::{lu, pseudoinverse, random, vector, SymmetricEigen};
 const N: usize = 24;
 
 fn paper_system(seed: u64) -> GramcSystem {
-    GramcSystem::new(4, MacroConfig { array_rows: N, array_cols: N, ..Default::default() }, seed, 8192)
+    GramcSystem::new(
+        4,
+        MacroConfig { array_rows: N, array_cols: N, ..Default::default() },
+        seed,
+        8192,
+    )
 }
 
 #[test]
@@ -50,8 +55,7 @@ fn inv_through_the_controller_against_quantized_reference() {
     let a = random::spd_with_condition(&mut rng, N, 3.0);
     let b = random::normal_vector(&mut rng, N);
     let mut sys = paper_system(203);
-    let program =
-        compile(&[MatrixOp::SolveInv { a: a.clone(), b: b.clone() }]).unwrap();
+    let program = compile(&[MatrixOp::SolveInv { a: a.clone(), b: b.clone() }]).unwrap();
     let out = execute(&mut sys, &program, 1000).unwrap();
     let x_ref = lu::solve(&a, &b).unwrap();
     let err = vector::rel_error(&out[0], &x_ref);
@@ -74,11 +78,8 @@ fn pinv_regression_end_to_end() {
 fn egv_end_to_end_on_spiked_gram() {
     let mut rng = random::seeded_rng(206);
     let gram = spiked_gram(&mut rng, N, 4 * N, 3.0);
-    let mut group = MacroGroup::new(
-        2,
-        MacroConfig { array_rows: N, array_cols: N, ..Default::default() },
-        207,
-    );
+    let mut group =
+        MacroGroup::new(2, MacroConfig { array_rows: N, array_cols: N, ..Default::default() }, 207);
     let op = group.load_matrix(&gram).unwrap();
     let sol = group.solve_egv(op).unwrap();
     let eig = SymmetricEigen::new(&gram).unwrap();
@@ -143,11 +144,8 @@ fn analog_iterative_refinement_converges() {
     let mut rng = random::seeded_rng(212);
     let a = random::spd_with_condition(&mut rng, N, 5.0);
     let b = random::normal_vector(&mut rng, N);
-    let mut group = MacroGroup::new(
-        2,
-        MacroConfig { array_rows: N, array_cols: N, ..Default::default() },
-        213,
-    );
+    let mut group =
+        MacroGroup::new(2, MacroConfig { array_rows: N, array_cols: N, ..Default::default() }, 213);
     let op = group.load_matrix(&a).unwrap();
     let mut x = vec![0.0; N];
     for _ in 0..40 {
