@@ -5,7 +5,7 @@
 //! enabled by BL, WL, and source-line (SL) drivers, which allow to select the
 //! active region in the array to fit different sizes of matrix problems."
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use gramc_device::{CellNoise, DeviceParams, LevelQuantizer, Nmos, OneTOneR};
 use gramc_linalg::Matrix;
@@ -110,8 +110,10 @@ impl ActiveRegion {
 struct Snapshot {
     region: ActiveRegion,
     g: Matrix,
-    /// `gᵀ` (lazily built; used by [`CrossbarArray::row_currents_batch`]).
-    g_t: Option<Matrix>,
+    /// `gᵀ` (lazily built; shared by reference with
+    /// [`CrossbarArray::row_currents_batch`] and
+    /// [`CrossbarArray::transposed_effective_conductances`]).
+    g_t: Option<Arc<Matrix>>,
 }
 
 /// Region-keyed snapshot cache, valid for one array generation.
@@ -344,10 +346,45 @@ impl CrossbarArray {
         self.with_snapshot(region, |snap| snap.g.clone())
     }
 
-    /// Uncached snapshot construction (the pre-cache `effective_conductances`
-    /// body). Also the bench baseline for the per-call reconstruction cost.
-    fn build_effective_conductances(&self, region: ActiveRegion) -> Result<Matrix, ArrayError> {
-        let mut g = self.conductances_ideal(region)?;
+    /// Transposed effective conductances of a region, shared by reference
+    /// from the generation-tagged snapshot cache — the zero-copy feed of
+    /// the batched MVM kernels. Only valid for noise-free reads (noisy
+    /// reads model a fresh sample per call and are never cached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RegionOutOfBounds`] for invalid regions.
+    pub fn transposed_effective_conductances(
+        &self,
+        region: ActiveRegion,
+    ) -> Result<Arc<Matrix>, ArrayError> {
+        self.with_snapshot(region, |snap| {
+            snap.g_t.get_or_insert_with(|| Arc::new(snap.g.transpose())).clone()
+        })
+    }
+
+    /// One noisy effective-conductance read: per-cell read noise plus the
+    /// IR-drop correction of [`effective_conductances`](Self::effective_conductances).
+    /// Never cached (each call is a fresh sample).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RegionOutOfBounds`] for invalid regions.
+    pub fn effective_conductances_noisy<R: Rng + ?Sized>(
+        &self,
+        region: ActiveRegion,
+        rng: &mut R,
+    ) -> Result<Matrix, ArrayError> {
+        let mut g = self.conductances(region, rng)?;
+        self.apply_ir_drop(&mut g, region);
+        Ok(g)
+    }
+
+    /// First-order IR-drop degradation from finite wire resistance: a cell
+    /// at distance `d = i + j` segments from the drivers sees its
+    /// conductance reduced to `G / (1 + G·R_wire·d)`. No-op when
+    /// `wire_resistance` is 0.
+    fn apply_ir_drop(&self, g: &mut Matrix, region: ActiveRegion) {
         let r = self.config.wire_resistance;
         if r > 0.0 {
             for i in 0..region.rows {
@@ -358,6 +395,13 @@ impl CrossbarArray {
                 }
             }
         }
+    }
+
+    /// Uncached snapshot construction (the pre-cache `effective_conductances`
+    /// body). Also the bench baseline for the per-call reconstruction cost.
+    fn build_effective_conductances(&self, region: ActiveRegion) -> Result<Matrix, ArrayError> {
+        let mut g = self.conductances_ideal(region)?;
+        self.apply_ir_drop(&mut g, region);
         Ok(g)
     }
 
@@ -454,8 +498,8 @@ impl CrossbarArray {
         let sigma = self.config.noise.read_rel_sigma;
         self.with_snapshot(region, |snap| {
             // Y = V · Gᵀ, with Gᵀ cached alongside the snapshot.
-            let g_t = snap.g_t.get_or_insert_with(|| snap.g.transpose());
-            let mut out = v_batch.matmul(g_t);
+            let g_t = snap.g_t.get_or_insert_with(|| Arc::new(snap.g.transpose())).clone();
+            let mut out = v_batch.matmul(&g_t);
             if sigma > 0.0 {
                 // var_bi = Σ_j (G_ij·v_bj)² — accumulated term-by-term in
                 // the scalar path's order so the noise scale (and hence the

@@ -11,9 +11,11 @@
 use gramc_array::{ActiveRegion, ArrayConfig, CrossbarArray};
 use gramc_bench::timing::{to_json, Reporter};
 use gramc_circuit::{dc_solve, topology, DcOperator, OpampModel};
+use gramc_core::tiling::TileMapping;
 use gramc_core::{MacroConfig, MacroGroup};
 use gramc_device::LevelQuantizer;
 use gramc_linalg::{random, LuDecomposition, Matrix};
+use gramc_runtime::{Placement, Runtime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -82,6 +84,28 @@ fn main() {
     });
     r.bench("macro_mvm_batch_32x64", || group.mvm_batch(op, &xs).unwrap());
 
+    // ── sharded runtime: 64 MVM requests spread over one operator per
+    //    shard, coalesced into one analog dispatch per operator and
+    //    scheduled with work stealing. The 1-shard entry is the scheduler
+    //    overhead baseline; multi-shard entries measure scaling (bounded
+    //    by the host's core count — single-core CI shows ≈1×).
+    for shards in [1usize, 2, 4] {
+        let rt = Runtime::new(shards, 2, MacroConfig::small_ideal(64), 6);
+        let ops: Vec<_> = (0..shards)
+            .map(|s| rt.load(&a64, TileMapping::FourBit, Placement::Pinned(s)).unwrap())
+            .collect();
+        let reqs: Vec<Vec<f64>> = (0..64).map(|_| random::normal_vector(&mut rng2, 64)).collect();
+        r.bench(&format!("runtime_sharded_mvm_{shards}"), || {
+            let handles: Vec<_> = reqs
+                .iter()
+                .enumerate()
+                .map(|(k, x)| rt.submit_mvm(ops[k % shards], x.clone()).unwrap())
+                .collect();
+            rt.run_all();
+            handles.iter().map(|h| h.wait_vector().unwrap()).collect::<Vec<_>>()
+        });
+    }
+
     // ── DC operator: fresh factorization per excitation vs factor-once.
     let mut rng3 = random::seeded_rng(5);
     let a32 = random::spd_with_condition(&mut rng3, 32, 5.0);
@@ -110,11 +134,17 @@ fn main() {
     // ── summary + JSON report.
     let matmul_speedup = r.mean_ms("matmul_naive_512") / r.mean_ms("matmul_512");
     let batch_speedup = uncached_per_mvm / batched_per_mvm;
+    let sharded_speedup_4v1 =
+        r.mean_ms("runtime_sharded_mvm_1") / r.mean_ms("runtime_sharded_mvm_4");
     println!();
     println!("matmul 512: blocked is {matmul_speedup:.1}x the naive baseline");
     println!(
         "batched MVM 128: {batch_speedup:.1}x the per-call reconstruction path \
          ({uncached_per_mvm:.3} ms -> {batched_per_mvm:.4} ms per MVM)"
+    );
+    println!(
+        "sharded runtime: 64 requests over 4 shards run {sharded_speedup_4v1:.2}x \
+         the 1-shard drain"
     );
 
     let meta = [
@@ -125,6 +155,7 @@ fn main() {
         ("parallel_feature", gramc_linalg::parallel::feature_enabled().to_string()),
         ("matmul_512_speedup_vs_naive", format!("{matmul_speedup:.3}")),
         ("batched_mvm_128_speedup_vs_uncached", format!("{batch_speedup:.3}")),
+        ("runtime_sharded_mvm_speedup_4_shards_vs_1", format!("{sharded_speedup_4v1:.3}")),
     ];
     let json = to_json(&meta, r.samples());
     std::fs::write(&out_path, &json).expect("write benchmark json");

@@ -16,6 +16,8 @@
 //!   EGV loop (the settled state of the saturating transient; see
 //!   `gramc-circuit::transient` docs), iterated behaviourally.
 
+use std::sync::Arc;
+
 use gramc_array::{
     ActiveRegion, ArrayConfig, ConductanceMapper, CrossbarArray, LevelMatrix, MappedMatrix,
     SignedEncoding, WriteVerifyController,
@@ -605,16 +607,27 @@ impl MacroGroup {
             }
         }
         self.configure_operator(id, MacroMode::Mvm)?;
-        // One noisy conductance read per plane for the whole batch, held
+        // One conductance read per plane for the whole batch, held
         // pre-transposed so the whole batch multiplies through the blocked
-        // matmul kernel: I_p = V · G_pᵀ.
-        let mut gs_t = Vec::with_capacity(nplanes);
+        // matmul kernel: I_p = V · G_pᵀ. With read noise each batch samples
+        // a fresh read; noise-free reads share each array's generation-
+        // tagged snapshot by reference (zero copies across calls). Both
+        // paths include the IR-drop correction, like the scalar `mvm`.
+        let noisy = self.config.nonideal.read_noise_rel != 0.0;
+        let mut gs_t: Vec<Arc<Matrix>> = Vec::with_capacity(planes.len());
         for p in &planes {
-            let g = self.macros[p.macro_id]
-                .array
-                .conductances(p.region, &mut self.rng)
-                .map_err(CoreError::from)?;
-            gs_t.push(g.transpose());
+            let array = &self.macros[p.macro_id].array;
+            let g_t = if noisy {
+                Arc::new(
+                    array
+                        .effective_conductances_noisy(p.region, &mut self.rng)
+                        .map_err(CoreError::from)?
+                        .transpose(),
+                )
+            } else {
+                array.transposed_effective_conductances(p.region).map_err(CoreError::from)?
+            };
+            gs_t.push(g_t);
         }
         let dac = self.macros[planes[0].macro_id].dac;
         let adc = self.macros[planes[0].macro_id].adc;
@@ -709,15 +722,44 @@ impl MacroGroup {
         Ok(sol.voltages(&topo.outputs).iter().map(|v_out| -v_out * g_f * conv).collect())
     }
 
-    /// One-step linear-system solve `A·x = b` on the INV configuration
-    /// (full MNA of the feedback circuit, with DAC-quantized injection and
-    /// ADC-quantized read-out).
+    /// One-step linear-system solve `A·x = b` on the INV configuration —
+    /// the single-RHS form of [`solve_inv_batch`](Self::solve_inv_batch)
+    /// (full MNA of the feedback circuit, DAC-quantized injection,
+    /// ADC-quantized auto-ranged read-out).
     ///
     /// # Errors
     ///
     /// Shape/handle errors; [`CoreError::Circuit`] on singular netlists;
     /// [`CoreError::InvalidArgument`] for non-square or bit-sliced operators.
     pub fn solve_inv(&mut self, id: OperatorId, b: &[f64]) -> Result<Vec<f64>, CoreError> {
+        let mut xs = self.solve_inv_batch(id, &[b.to_vec()])?;
+        Ok(xs.pop().expect("one RHS in, one solution out"))
+    }
+
+    /// Multi-RHS linear-system solve on the INV configuration: every column
+    /// of the batch shares one conductance read and one MNA factorization
+    /// ([`DcOperator::solve_rhs_matrix`]), so `k` right-hand sides cost one
+    /// LU factorization plus `k` substitutions instead of `k` full solves.
+    ///
+    /// Auto-ranging (the Fig. 3 verify/flag path) runs per column: a column
+    /// whose output rails the ADC halves its injection scale α (volts of
+    /// output per matrix unit of x; `I_in = −(step/scale)·α·b`) and
+    /// re-substitutes together with the other railed columns on the next
+    /// attempt — only the injected currents change between attempts, so the
+    /// factorization is never repeated.
+    ///
+    /// # Errors
+    ///
+    /// Shape/handle errors; [`CoreError::Circuit`] on singular netlists;
+    /// [`CoreError::InvalidArgument`] for non-square or bit-sliced
+    /// operators. The batch is one analog program: a column that still
+    /// rails the ADC after every ranging attempt fails the whole call
+    /// (solve such columns individually to isolate them).
+    pub fn solve_inv_batch(
+        &mut self,
+        id: OperatorId,
+        bs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
         let op = self.operator(id)?;
         if op.info.rows != op.info.cols {
             return Err(CoreError::InvalidArgument("INV requires a square operator"));
@@ -725,20 +767,54 @@ impl MacroGroup {
         if op.info.planes != 2 {
             return Err(CoreError::InvalidArgument("INV requires a differential operator"));
         }
-        if b.len() != op.info.rows {
-            return Err(CoreError::ShapeMismatch { expected: op.info.rows, found: b.len() });
+        let n = op.info.rows;
+        for b in bs {
+            if b.len() != n {
+                return Err(CoreError::ShapeMismatch { expected: n, found: b.len() });
+            }
+        }
+        if bs.is_empty() {
+            return Ok(Vec::new());
         }
         let (scale, planes) = (op.info.scale, op.planes.clone());
         self.configure_operator(id, MacroMode::Inv)?;
 
-        let b_max = vector::norm_inf(b);
-        if b_max == 0.0 {
-            return Ok(vec![0.0; b.len()]);
-        }
         let dac = self.macros[planes[0].macro_id].dac;
         let adc = self.macros[planes[0].macro_id].adc;
         let c = self.quantizer.step() / scale;
 
+        // Per-column injection state: quantized b, its norm and the current
+        // ranging scale α (volts of output per matrix unit of x). Scanned
+        // before the conductance read so an all-zero batch — including
+        // every zero-b `solve_inv` call — short-circuits without touching
+        // the arrays or the RNG (matching `solve_pinv` and the zero-input
+        // `mvm` path).
+        let mut quantized: Vec<Vec<f64>> = Vec::with_capacity(bs.len());
+        let mut b_maxes = Vec::with_capacity(bs.len());
+        let mut alphas = Vec::with_capacity(bs.len());
+        let mut xs: Vec<Option<Vec<f64>>> = vec![None; bs.len()];
+        let mut active: Vec<usize> = Vec::new();
+        for (ci, b) in bs.iter().enumerate() {
+            let b_max = vector::norm_inf(b);
+            if b_max == 0.0 {
+                xs[ci] = Some(vec![0.0; n]);
+                quantized.push(Vec::new());
+                b_maxes.push(0.0);
+                alphas.push(0.0);
+                continue;
+            }
+            quantized
+                .push(b.iter().map(|&bi| dac.convert(bi / b_max) / self.config.v_read).collect());
+            b_maxes.push(b_max);
+            alphas.push(self.config.v_read / b_max);
+            active.push(ci);
+        }
+        if active.is_empty() {
+            return Ok(xs.into_iter().map(|x| x.expect("all columns zero")).collect());
+        }
+
+        // One noisy conductance read shared by the whole batch (the
+        // mvm_batch contract: the array state cannot change mid-batch).
         let g_pos = self.macros[planes[0].macro_id]
             .array
             .conductances(planes[0].region, &mut self.rng)
@@ -749,46 +825,69 @@ impl MacroGroup {
             .map_err(CoreError::from)?;
         let model = self.opamp_model();
 
-        // Auto-ranging (the Fig. 3 verify/flag path): if the solution rails
-        // the ADC, the controller halves the injection scale α and re-runs.
-        // α is volts of output per matrix unit of x; I_in = −(step/scale)·α·b.
-        // Only the injected currents change between attempts, so the MNA
-        // matrix is assembled and LU-factored once (DcOperator) and every
-        // retry is a cheap substitution.
-        let mut alpha = self.config.v_read / b_max;
-        let quantized_b: Vec<f64> =
-            b.iter().map(|&bi| dac.convert(bi / b_max) / self.config.v_read).collect();
-        let i_in: Vec<f64> = quantized_b.iter().map(|&qb| -c * alpha * b_max * qb).collect();
+        let zeros = vec![0.0; n];
         let mut topo =
-            topology::build_inv(&g_pos, &g_neg, &i_in, model).map_err(CoreError::from)?;
+            topology::build_inv(&g_pos, &g_neg, &zeros, model).map_err(CoreError::from)?;
         for (k, opamp) in topo.circuit.opamp_ids().into_iter().enumerate() {
             let m = topo.circuit.opamp_model(opamp);
             let off = self.macros[planes[0].macro_id].opamp_offset(k);
             topo.circuit.set_opamp_model(opamp, m.offset(off));
         }
         let dc_op = DcOperator::new(&topo.circuit).map_err(CoreError::from)?;
-        let mut x = Vec::new();
+
+        // Ranged multi-RHS substitution: all still-railing columns stack
+        // into one RHS matrix and substitute through the shared LU factors.
         for _attempt in 0..8 {
-            for (&src, &qb) in topo.input_sources.iter().zip(&quantized_b) {
-                topo.circuit.set_current(src, -c * alpha * b_max * qb);
+            if active.is_empty() {
+                break;
             }
-            let sol = dc_op.solve_circuit(&topo.circuit).map_err(CoreError::from)?;
-            let volts = sol.voltages(&topo.x_nodes);
-            let peak = volts.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
-            if peak > 0.95 * adc.v_ref() {
-                alpha *= 0.5;
-                continue;
+            let mut rhs = Matrix::zeros(dc_op.dim(), active.len());
+            for (k, &ci) in active.iter().enumerate() {
+                for (&src, &qb) in topo.input_sources.iter().zip(&quantized[ci]) {
+                    topo.circuit.set_current(src, -c * alphas[ci] * b_maxes[ci] * qb);
+                }
+                let col = dc_op.rhs(&topo.circuit).map_err(CoreError::from)?;
+                for (i, v) in col.iter().enumerate() {
+                    rhs[(i, k)] = *v;
+                }
             }
-            x = volts.iter().map(|&vx| adc.convert(vx) * adc.v_ref() / alpha).collect();
-            break;
+            let sol = dc_op.solve_rhs_matrix(&rhs).map_err(CoreError::from)?;
+            let mut railed = Vec::new();
+            for (k, &ci) in active.iter().enumerate() {
+                // Raw MNA columns: node voltages occupy the leading rows,
+                // ground (index 0) is implicit.
+                let volts: Vec<f64> = topo
+                    .x_nodes
+                    .iter()
+                    .map(|node| match node.index() {
+                        0 => 0.0,
+                        i => sol[(i - 1, k)],
+                    })
+                    .collect();
+                let peak = volts.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+                if peak > 0.95 * adc.v_ref() {
+                    alphas[ci] *= 0.5;
+                    railed.push(ci);
+                } else {
+                    xs[ci] = Some(
+                        volts
+                            .iter()
+                            .map(|&vx| adc.convert(vx) * adc.v_ref() / alphas[ci])
+                            .collect(),
+                    );
+                }
+            }
+            active = railed;
         }
-        if x.is_empty() {
+        if !active.is_empty() {
             return Err(CoreError::InvalidArgument(
                 "INV output railed the ADC at every ranging attempt",
             ));
         }
-        self.macros[planes[0].macro_id].output_buffer = x.clone();
-        Ok(x)
+        let out: Vec<Vec<f64>> =
+            xs.into_iter().map(|x| x.expect("every column solved or error returned")).collect();
+        self.macros[planes[0].macro_id].output_buffer = out.last().cloned().unwrap_or_default();
+        Ok(out)
     }
 
     /// One-step least-squares solve `x = A⁺·b` on the PINV configuration.
@@ -1184,6 +1283,62 @@ mod tests {
         let err = vector::rel_error(&y, &y_ref);
         assert!(err > 0.001, "suspiciously perfect: {err}");
         assert!(err < 0.25, "error out of band: {err}");
+    }
+
+    #[test]
+    fn solve_inv_batch_matches_per_column_solves() {
+        let mut g = ideal_group(2, 6, 15);
+        let mut rng = seeded_rng(57);
+        let a = random::spd_with_condition(&mut rng, 6, 5.0);
+        let op = g.load_matrix(&a).unwrap();
+        let bs: Vec<Vec<f64>> = (0..4).map(|_| random::normal_vector(&mut rng, 6)).collect();
+        let batch = g.solve_inv_batch(op, &bs).unwrap();
+        assert_eq!(batch.len(), 4);
+        // Ideal config: no read noise, so the shared conductance read equals
+        // the per-call reads and the results must agree to rounding.
+        for (b, x) in bs.iter().zip(&batch) {
+            let x_ref = g.solve_inv(op, b).unwrap();
+            assert!(vector::rel_error(x, &x_ref) < 1e-10, "{x:?} vs {x_ref:?}");
+        }
+    }
+
+    #[test]
+    fn solve_inv_batch_handles_zero_columns_and_shapes() {
+        let mut g = ideal_group(2, 4, 16);
+        let a = Matrix::from_fn(4, 4, |i, j| if i == j { 2.0 } else { 0.25 });
+        let op = g.load_matrix(&a).unwrap();
+        let bs = vec![vec![0.0; 4], vec![1.0, -0.5, 0.25, 0.75]];
+        let xs = g.solve_inv_batch(op, &bs).unwrap();
+        assert_eq!(xs[0], vec![0.0; 4]);
+        let x_ref = g.solve_inv(op, &bs[1]).unwrap();
+        assert!(vector::rel_error(&xs[1], &x_ref) < 1e-10);
+        assert!(g.solve_inv_batch(op, &[vec![1.0; 3]]).is_err());
+        assert!(g.solve_inv_batch(op, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mvm_batch_gt_cache_is_hit_and_invalidated() {
+        let mut g = ideal_group(4, 6, 17);
+        let mut rng = seeded_rng(58);
+        let a = random::gaussian_matrix(&mut rng, 6, 6);
+        let op = g.load_matrix(&a).unwrap();
+        let xs: Vec<Vec<f64>> = (0..3).map(|_| random::normal_vector(&mut rng, 6)).collect();
+        // First call builds the snapshot, second call serves it — results
+        // must be identical (the read is deterministic without read noise).
+        let y1 = g.mvm_batch(op, &xs).unwrap();
+        let y2 = g.mvm_batch(op, &xs).unwrap();
+        assert_eq!(y1, y2);
+        // Reprogramming the macros (free + reload of a different matrix)
+        // bumps the array generations; a stale snapshot must not survive.
+        g.free_operator(op).unwrap();
+        let b = random::gaussian_matrix(&mut rng, 6, 6);
+        let op2 = g.load_matrix(&b).unwrap();
+        let y3 = g.mvm_batch(op2, &xs).unwrap();
+        let quantized = g.operator_info(op2).unwrap().quantized.clone();
+        for (x, y) in xs.iter().zip(&y3) {
+            let y_ref = quantized.matvec(x);
+            assert!(vector::rel_error(y, &y_ref) < 0.01, "{y:?} vs {y_ref:?}");
+        }
     }
 
     #[test]

@@ -82,6 +82,15 @@ pub struct GramcSystem {
 impl GramcSystem {
     /// Creates a system with `n_macros` macros and `buffer_words` words in
     /// each of the global and output buffers.
+    ///
+    /// `n_macros` sizes this controller's **single** macro group — it does
+    /// not shard the system: every instruction still dispatches into the
+    /// one group, serially. The scaling path beyond one group is the
+    /// `gramc-runtime` crate, whose `Runtime` owns several independent
+    /// [`MacroGroup`] shards and schedules tiled jobs across them with
+    /// work stealing; construct one there (e.g. `Runtime::new(shards,
+    /// macros_per_shard, config, seed)`) instead of inflating `n_macros`
+    /// here when you need multi-group throughput.
     pub fn new(n_macros: usize, config: MacroConfig, seed: u64, buffer_words: usize) -> Self {
         Self {
             group: MacroGroup::new(n_macros, config, seed),

@@ -21,6 +21,22 @@ pub enum TileMapping {
     BitSlicedInt8,
 }
 
+/// Tile origins covering a `rows × cols` matrix with tiles of at most
+/// `tile_rows × tile_cols`: the row/column start offsets of the grid.
+///
+/// Shared by [`TiledOperator`] and the cross-shard tiled operator in
+/// `gramc-runtime`, so both split a matrix identically.
+pub fn tile_grid(
+    rows: usize,
+    cols: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let row_starts = (0..rows).step_by(tile_rows.max(1)).collect();
+    let col_starts = (0..cols).step_by(tile_cols.max(1)).collect();
+    (row_starts, col_starts)
+}
+
 /// A matrix operator tiled across several macros.
 #[derive(Debug)]
 pub struct TiledOperator {
@@ -52,8 +68,7 @@ impl TiledOperator {
         }
         let tile_rows = group.config().array_rows;
         let tile_cols = group.config().array_cols;
-        let row_starts: Vec<usize> = (0..rows).step_by(tile_rows).collect();
-        let col_starts: Vec<usize> = (0..cols).step_by(tile_cols).collect();
+        let (row_starts, col_starts) = tile_grid(rows, cols, tile_rows, tile_cols);
 
         let mut tiles = Vec::with_capacity(row_starts.len());
         let mut loaded: Vec<OperatorId> = Vec::new();

@@ -62,27 +62,6 @@ impl GramcLenet {
         }
     }
 
-    /// Runs one layer (as a weight matrix + bias) over a batch of input
-    /// vectors: load → batched analog MVM → digital bias add → free.
-    fn layer_batch(
-        &mut self,
-        weights: &Matrix,
-        bias: &[f64],
-        xs: &[Vec<f64>],
-    ) -> Result<Vec<Vec<f64>>, CoreError> {
-        let mapping = self.mapping();
-        let mut tiled = TiledOperator::load(&mut self.group, weights, mapping)?;
-        let result = tiled.mvm_batch(&mut self.group, xs);
-        tiled.free(&mut self.group)?;
-        let mut ys = result?;
-        for y in ys.iter_mut() {
-            for (yi, b) in y.iter_mut().zip(bias) {
-                *yi += b;
-            }
-        }
-        Ok(ys)
-    }
-
     /// Computes logits for a batch of images through the analog pipeline.
     ///
     /// # Errors
@@ -90,79 +69,15 @@ impl GramcLenet {
     /// Capacity errors if the macro group cannot hold a layer; analog-path
     /// errors propagate.
     pub fn logits_batch(&mut self, images: &[Tensor3]) -> Result<Vec<Vec<f64>>, CoreError> {
-        if images.is_empty() {
-            return Ok(Vec::new());
-        }
-        // conv1 over all images (one im2col batch per image).
-        let w1 = self.model.conv1.weights.clone();
-        let b1 = self.model.conv1.bias.clone();
-        let mut pooled1: Vec<Tensor3> = Vec::with_capacity(images.len());
-        {
-            let mapping = self.mapping();
-            let mut tiled = TiledOperator::load(&mut self.group, &w1, mapping)?;
-            for img in images {
-                let cols = im2col(img, 5);
-                let xs: Vec<Vec<f64>> = (0..cols.cols()).map(|j| cols.col(j)).collect();
-                let ys = tiled.mvm_batch(&mut self.group, &xs)?;
-                // Assemble [6,24,24], add bias, ReLU + pool digitally.
-                let mut fmap = Tensor3::zeros(6, 24, 24);
-                for (pos, y) in ys.iter().enumerate() {
-                    for (oc, v) in y.iter().enumerate() {
-                        fmap.as_mut_slice()[oc * 576 + pos] = v + b1[oc];
-                    }
-                }
-                pooled1.push(relu_pool2(&fmap));
-            }
-            tiled.free(&mut self.group)?;
-        }
-        // conv2.
-        let w2 = self.model.conv2.weights.clone();
-        let b2 = self.model.conv2.bias.clone();
-        let mut pooled2: Vec<Vec<f64>> = Vec::with_capacity(images.len());
-        {
-            let mapping = self.mapping();
-            let mut tiled = TiledOperator::load(&mut self.group, &w2, mapping)?;
-            for p1 in &pooled1 {
-                let cols = im2col(p1, 5);
-                let xs: Vec<Vec<f64>> = (0..cols.cols()).map(|j| cols.col(j)).collect();
-                let ys = tiled.mvm_batch(&mut self.group, &xs)?;
-                let mut fmap = Tensor3::zeros(16, 8, 8);
-                for (pos, y) in ys.iter().enumerate() {
-                    for (oc, v) in y.iter().enumerate() {
-                        fmap.as_mut_slice()[oc * 64 + pos] = v + b2[oc];
-                    }
-                }
-                pooled2.push(relu_pool2(&fmap).into_vec());
-            }
-            tiled.free(&mut self.group)?;
-        }
-        // Fully-connected stack: whole batch per layer.
-        let a1 = self.layer_batch(
-            &self.model.fc1.weights.clone(),
-            &self.model.fc1.bias.clone(),
-            &pooled2,
-        )?;
-        let a1: Vec<Vec<f64>> = a1
-            .into_iter()
-            .map(|mut v| {
-                for x in v.iter_mut() {
-                    *x = x.max(0.0);
-                }
-                v
-            })
-            .collect();
-        let a2 =
-            self.layer_batch(&self.model.fc2.weights.clone(), &self.model.fc2.bias.clone(), &a1)?;
-        let a2: Vec<Vec<f64>> = a2
-            .into_iter()
-            .map(|mut v| {
-                for x in v.iter_mut() {
-                    *x = x.max(0.0);
-                }
-                v
-            })
-            .collect();
-        self.layer_batch(&self.model.fc3.weights.clone(), &self.model.fc3.bias.clone(), &a2)
+        let mapping = self.mapping();
+        let group = &mut self.group;
+        lenet_forward(&self.model, images, |w, batches| {
+            let mut tiled = TiledOperator::load(group, w, mapping)?;
+            let result: Result<Vec<_>, CoreError> =
+                batches.iter().map(|xs| tiled.mvm_batch(group, xs)).collect();
+            tiled.free(group)?;
+            result
+        })
     }
 
     /// Predicted classes for a batch.
@@ -194,8 +109,74 @@ impl GramcLenet {
     }
 }
 
-/// ReLU + 2×2 max pool in the digital functional module.
-fn relu_pool2(t: &Tensor3) -> Tensor3 {
+/// The LeNet-5 forward pipeline shared by the single-group and sharded
+/// backends: im2col, feature-map assembly, digital bias add, ReLU and
+/// pooling, plus the fully-connected stack. `run_layer` is the only
+/// analog-specific step: load the layer's weight matrix, run one batched
+/// MVM per entry of `batches` (in order), free the tiles — even when an
+/// MVM fails, so a long-lived runtime doesn't leak capacity — and return
+/// the raw products.
+pub(crate) fn lenet_forward<E>(
+    model: &LeNet5,
+    images: &[Tensor3],
+    mut run_layer: impl FnMut(&Matrix, &[Vec<Vec<f64>>]) -> Result<Vec<Vec<Vec<f64>>>, E>,
+) -> Result<Vec<Vec<f64>>, E> {
+    if images.is_empty() {
+        return Ok(Vec::new());
+    }
+    // conv1 over all images (one im2col batch per image, one weight load).
+    let batches: Vec<Vec<Vec<f64>>> = images.iter().map(im2col_batch).collect();
+    let conv1 = run_layer(&model.conv1.weights, &batches)?;
+    let pooled1: Vec<Tensor3> =
+        conv1.iter().map(|ys| relu_pool2(&assemble_fmap(ys, &model.conv1.bias, 6, 24))).collect();
+    // conv2.
+    let batches: Vec<Vec<Vec<f64>>> = pooled1.iter().map(im2col_batch).collect();
+    let conv2 = run_layer(&model.conv2.weights, &batches)?;
+    let pooled2: Vec<Vec<f64>> = conv2
+        .iter()
+        .map(|ys| relu_pool2(&assemble_fmap(ys, &model.conv2.bias, 16, 8)).into_vec())
+        .collect();
+    // Fully-connected stack: whole batch per layer, digital bias + ReLU.
+    let mut fc = |w: &Matrix, bias: &[f64], xs: Vec<Vec<f64>>, relu: bool| {
+        let mut ys = run_layer(w, std::slice::from_ref(&xs))?.pop().expect("one batch in, one out");
+        for y in ys.iter_mut() {
+            for (yi, b) in y.iter_mut().zip(bias) {
+                *yi += b;
+            }
+            if relu {
+                for yi in y.iter_mut() {
+                    *yi = yi.max(0.0);
+                }
+            }
+        }
+        Ok(ys)
+    };
+    let a1 = fc(&model.fc1.weights, &model.fc1.bias, pooled2, true)?;
+    let a2 = fc(&model.fc2.weights, &model.fc2.bias, a1, true)?;
+    fc(&model.fc3.weights, &model.fc3.bias, a2, false)
+}
+
+/// One im2col batch (5×5 windows): one input vector per output position.
+fn im2col_batch(t: &Tensor3) -> Vec<Vec<f64>> {
+    let cols = im2col(t, 5);
+    (0..cols.cols()).map(|j| cols.col(j)).collect()
+}
+
+/// Assembles an `[channels, n, n]` feature map from per-position MVM
+/// outputs, adding the per-channel bias digitally.
+fn assemble_fmap(ys: &[Vec<f64>], bias: &[f64], channels: usize, n: usize) -> Tensor3 {
+    let mut fmap = Tensor3::zeros(channels, n, n);
+    for (pos, y) in ys.iter().enumerate() {
+        for (oc, v) in y.iter().enumerate() {
+            fmap.as_mut_slice()[oc * n * n + pos] = v + bias[oc];
+        }
+    }
+    fmap
+}
+
+/// ReLU + 2×2 max pool in the digital functional module (shared with the
+/// sharded runtime backend).
+pub(crate) fn relu_pool2(t: &Tensor3) -> Tensor3 {
     let (c, h, w) = t.shape();
     let mut out = Tensor3::zeros(c, h / 2, w / 2);
     for ci in 0..c {
@@ -216,41 +197,8 @@ fn relu_pool2(t: &Tensor3) -> Tensor3 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::trained_model;
     use gramc_core::NonidealityConfig;
-    use gramc_linalg::random::seeded_rng;
-
-    fn tiny_images(n: usize, seed: u64) -> (Vec<Tensor3>, Vec<usize>) {
-        let mut rng = seeded_rng(seed);
-        let mut images = Vec::new();
-        let mut labels = Vec::new();
-        for i in 0..n {
-            let label = i % 2;
-            let cy = if label == 0 { 9.0 } else { 19.0 };
-            let mut t = Tensor3::zeros(1, 28, 28);
-            for y in 0..28 {
-                for x in 0..28 {
-                    let dy = y as f64 - cy;
-                    let dx = x as f64 - 14.0;
-                    let v = (-(dy * dy + dx * dx) / 16.0).exp()
-                        + 0.02 * gramc_linalg::random::standard_normal(&mut rng);
-                    t.set(0, y, x, v.clamp(0.0, 1.0));
-                }
-            }
-            images.push(t);
-            labels.push(label);
-        }
-        (images, labels)
-    }
-
-    fn trained_model() -> (LeNet5, Vec<Tensor3>, Vec<usize>) {
-        let mut rng = seeded_rng(120);
-        let mut net = LeNet5::new(&mut rng);
-        let (images, labels) = tiny_images(16, 121);
-        for _ in 0..12 {
-            net.train_epoch(&images, &labels, 0.02, 0.9);
-        }
-        (net, images, labels)
-    }
 
     #[test]
     fn analog_backend_matches_software_on_easy_task() {

@@ -10,7 +10,10 @@
 //!   with full backward passes,
 //! * [`LeNet5`] — the exact Fig. 5 architecture with SGD training,
 //! * [`Precision`] / [`quant`] — the three weight precisions of Fig. 5,
-//! * [`GramcLenet`] — layer-serial batched analog inference.
+//! * [`GramcLenet`] — layer-serial batched analog inference on one macro
+//!   group,
+//! * [`RuntimeLenet`] — the same pipeline on the sharded `gramc-runtime`,
+//!   with weight tiles spread across macro-group shards.
 
 #![warn(missing_docs)]
 
@@ -18,9 +21,54 @@ mod backend;
 pub mod layers;
 mod lenet;
 pub mod quant;
+mod runtime_backend;
 mod tensor;
 
 pub use backend::GramcLenet;
 pub use lenet::{EpochStats, LeNet5};
 pub use quant::Precision;
+pub use runtime_backend::RuntimeLenet;
 pub use tensor::Tensor3;
+
+/// Shared fixtures for the backend tests: a toy two-class image task and a
+/// model trained to master it.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use gramc_linalg::random::seeded_rng;
+
+    use crate::lenet::LeNet5;
+    use crate::tensor::Tensor3;
+
+    pub(crate) fn tiny_images(n: usize, seed: u64) -> (Vec<Tensor3>, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let cy = if label == 0 { 9.0 } else { 19.0 };
+            let mut t = Tensor3::zeros(1, 28, 28);
+            for y in 0..28 {
+                for x in 0..28 {
+                    let dy = y as f64 - cy;
+                    let dx = x as f64 - 14.0;
+                    let v = (-(dy * dy + dx * dx) / 16.0).exp()
+                        + 0.02 * gramc_linalg::random::standard_normal(&mut rng);
+                    t.set(0, y, x, v.clamp(0.0, 1.0));
+                }
+            }
+            images.push(t);
+            labels.push(label);
+        }
+        (images, labels)
+    }
+
+    pub(crate) fn trained_model() -> (LeNet5, Vec<Tensor3>, Vec<usize>) {
+        let mut rng = seeded_rng(120);
+        let mut net = LeNet5::new(&mut rng);
+        let (images, labels) = tiny_images(16, 121);
+        for _ in 0..12 {
+            net.train_epoch(&images, &labels, 0.02, 0.9);
+        }
+        (net, images, labels)
+    }
+}

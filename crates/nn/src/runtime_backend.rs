@@ -1,0 +1,160 @@
+//! LeNet-5 on the sharded runtime: the multi-group scaling path of the
+//! analog backend.
+//!
+//! [`GramcLenet`](crate::GramcLenet) streams inference through **one**
+//! macro group; this backend drives a [`Runtime`] instead, so each layer's
+//! weight tiles spread round-robin across the shards
+//! ([`ShardedTiledOperator`]) and every tile's partial product runs on its
+//! own analog plane, with the work-stealing scheduler keeping the shards
+//! busy. The digital functional steps (bias add, pooling, activation,
+//! im2col) are the single-group backend's own code
+//! ([`lenet_forward`](crate::backend) is shared; only the per-layer analog
+//! driver differs).
+//!
+//! With one shard and the same seed the job tickets replay the exact
+//! single-group operation order, so `RuntimeLenet` is bit-identical to
+//! [`GramcLenet`](crate::GramcLenet) — that equivalence is tested below.
+
+use gramc_core::functional::argmax;
+use gramc_core::tiling::TileMapping;
+use gramc_core::{CoreError, MacroConfig};
+use gramc_runtime::{Runtime, RuntimeError, ShardedTiledOperator};
+
+use crate::backend::lenet_forward;
+use crate::lenet::LeNet5;
+use crate::quant::Precision;
+use crate::tensor::Tensor3;
+
+/// LeNet-5 running on the sharded analog runtime.
+#[derive(Debug)]
+pub struct RuntimeLenet {
+    rt: Runtime,
+    model: LeNet5,
+    precision: Precision,
+}
+
+impl RuntimeLenet {
+    /// Wraps a trained model for sharded analog execution: `shards` macro
+    /// groups of `macros_per_shard` macros each.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Core`] with an invalid-argument error if
+    /// `precision` is [`Precision::Float32`] (use the software model
+    /// directly for the float baseline).
+    pub fn new(
+        model: LeNet5,
+        precision: Precision,
+        config: MacroConfig,
+        shards: usize,
+        macros_per_shard: usize,
+        seed: u64,
+    ) -> Result<Self, RuntimeError> {
+        if precision == Precision::Float32 {
+            return Err(CoreError::InvalidArgument(
+                "float32 is the software baseline; run LeNet5::evaluate instead",
+            )
+            .into());
+        }
+        Ok(Self { rt: Runtime::new(shards, macros_per_shard, config, seed), model, precision })
+    }
+
+    /// The underlying runtime (for inspection).
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    fn mapping(&self) -> TileMapping {
+        match self.precision {
+            Precision::Int4 => TileMapping::FourBit,
+            Precision::Int8 => TileMapping::BitSlicedInt8,
+            Precision::Float32 => unreachable!("rejected in constructor"),
+        }
+    }
+
+    /// Computes logits for a batch of images through the sharded pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Capacity errors if the shards cannot hold a layer's tiles; analog
+    /// and scheduling errors propagate.
+    pub fn logits_batch(&mut self, images: &[Tensor3]) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        let mapping = self.mapping();
+        let rt = &self.rt;
+        lenet_forward(&self.model, images, |w, batches| {
+            let mut tiled = ShardedTiledOperator::load(rt, w, mapping)?;
+            let result: Result<Vec<_>, RuntimeError> =
+                batches.iter().map(|xs| tiled.mvm_batch(rt, xs)).collect();
+            tiled.free(rt)?;
+            result
+        })
+    }
+
+    /// Predicted classes for a batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`logits_batch`](Self::logits_batch).
+    pub fn predict_batch(&mut self, images: &[Tensor3]) -> Result<Vec<usize>, RuntimeError> {
+        Ok(self.logits_batch(images)?.iter().map(|l| argmax(l)).collect())
+    }
+
+    /// Classification accuracy of the sharded pipeline on a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// See [`logits_batch`](Self::logits_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len() != labels.len()`.
+    pub fn evaluate(&mut self, images: &[Tensor3], labels: &[usize]) -> Result<f64, RuntimeError> {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        if images.is_empty() {
+            return Ok(0.0);
+        }
+        let preds = self.predict_batch(images)?;
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f64 / images.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_model;
+    use crate::GramcLenet;
+
+    #[test]
+    fn one_shard_runtime_backend_is_bit_identical_to_single_group() {
+        let (net, images, _) = trained_model();
+        // Same seed, same macro complement: the runtime's job tickets
+        // replay the single-group operation order exactly, RNG draws and
+        // all (paper-default non-idealities are on).
+        let mut single =
+            GramcLenet::new(net.clone(), Precision::Int4, MacroConfig::default(), 16, 122).unwrap();
+        let mut sharded =
+            RuntimeLenet::new(net, Precision::Int4, MacroConfig::default(), 1, 16, 122).unwrap();
+        let sample = &images[..3];
+        let logits_single = single.logits_batch(sample).unwrap();
+        let logits_sharded = sharded.logits_batch(sample).unwrap();
+        assert_eq!(logits_single, logits_sharded);
+    }
+
+    #[test]
+    fn multi_shard_backend_is_accurate() {
+        let (net, images, labels) = trained_model();
+        let mut backend =
+            RuntimeLenet::new(net, Precision::Int4, MacroConfig::default(), 2, 8, 123).unwrap();
+        let hw = backend.evaluate(&images[..8], &labels[..8]).unwrap();
+        assert!(hw >= 0.9, "sharded analog accuracy {hw}");
+    }
+
+    #[test]
+    fn float32_backend_is_rejected() {
+        let (net, _, _) = trained_model();
+        assert!(
+            RuntimeLenet::new(net, Precision::Float32, MacroConfig::default(), 2, 8, 0).is_err()
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type of the sharded runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use gramc_core::CoreError;
+
+/// Errors produced by the sharded runtime layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// Error from the macro-group / analog layer of one shard.
+    Core(CoreError),
+    /// An operator handle that was never issued, whose load failed, or
+    /// that refers to a freed operator.
+    InvalidHandle,
+    /// The operator was already freed (or its free is already queued).
+    DoubleFree,
+    /// A pinned placement or shard index is out of range.
+    BadShard {
+        /// Requested shard.
+        shard: usize,
+        /// Number of shards in the runtime.
+        shards: usize,
+    },
+    /// A job produced a different output variant than the caller expected
+    /// (e.g. waiting for a vector on a `Load` job).
+    WrongOutput,
+    /// The job panicked on its shard. The panic is re-raised out of
+    /// [`Runtime::run_all`](crate::Runtime::run_all) on the driving thread;
+    /// waiters on other threads see this error instead of hanging.
+    JobPanicked,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "shard error: {e}"),
+            Self::InvalidHandle => write!(f, "invalid or stale operator handle"),
+            Self::DoubleFree => write!(f, "operator already freed"),
+            Self::BadShard { shard, shards } => {
+                write!(f, "shard {shard} out of range (runtime has {shards})")
+            }
+            Self::WrongOutput => write!(f, "job output variant does not match the request"),
+            Self::JobPanicked => write!(f, "job panicked on its shard"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}

@@ -1,0 +1,145 @@
+//! Jobs, result slots and the handles callers wait on.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use gramc_core::tiling::TileMapping;
+use gramc_linalg::Matrix;
+
+use crate::error::RuntimeError;
+use crate::registry::OperatorHandle;
+
+/// Result of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JobOutput {
+    /// One result vector (an MVM request or a single-RHS solve).
+    Vector(Vec<f64>),
+    /// One result per input vector (explicit batch jobs).
+    Vectors(Vec<Vec<f64>>),
+    /// The operator placed by a `Load` job.
+    Loaded(OperatorHandle),
+    /// Acknowledgement of a `Free` job.
+    Freed,
+}
+
+/// One-shot result cell a job fills and any number of waiters read.
+#[derive(Debug, Default)]
+pub(crate) struct Slot {
+    state: Mutex<Option<Result<JobOutput, RuntimeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    /// First write wins: a panic-path error fill never clobbers a result
+    /// the job already delivered.
+    pub(crate) fn fill(&self, result: Result<JobOutput, RuntimeError>) {
+        let mut state = self.state.lock().expect("slot lock");
+        if state.is_none() {
+            *state = Some(result);
+            self.ready.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<JobOutput, RuntimeError> {
+        let mut state = self.state.lock().expect("slot lock");
+        while state.is_none() {
+            state = self.ready.wait(state).expect("slot lock");
+        }
+        state.clone().expect("checked above")
+    }
+
+    fn try_peek(&self) -> Option<Result<JobOutput, RuntimeError>> {
+        self.state.lock().expect("slot lock").clone()
+    }
+}
+
+/// Handle to a submitted job.
+///
+/// The result is retrieved with [`wait`](Self::wait) (blocking) or
+/// [`try_result`](Self::try_result) (non-blocking). Jobs only execute
+/// inside [`Runtime::run_all`](crate::Runtime::run_all), so on a single
+/// thread call `run_all` first and `wait` after; `wait` blocks safely when
+/// another thread is driving the runtime.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl JobHandle {
+    pub(crate) fn new() -> Self {
+        Self { slot: Arc::new(Slot::default()) }
+    }
+
+    /// Blocks until the job has retired and returns its output.
+    ///
+    /// # Errors
+    ///
+    /// The job's own error, if it failed.
+    pub fn wait(&self) -> Result<JobOutput, RuntimeError> {
+        self.slot.wait()
+    }
+
+    /// Blocks until the job has retired and returns its single result
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// The job's own error, or [`RuntimeError::WrongOutput`] if the job
+    /// does not produce a single vector.
+    pub fn wait_vector(&self) -> Result<Vec<f64>, RuntimeError> {
+        match self.wait()? {
+            JobOutput::Vector(v) => Ok(v),
+            _ => Err(RuntimeError::WrongOutput),
+        }
+    }
+
+    /// Blocks until the job has retired and returns its batch of result
+    /// vectors.
+    ///
+    /// # Errors
+    ///
+    /// The job's own error, or [`RuntimeError::WrongOutput`] if the job
+    /// does not produce a batch.
+    pub fn wait_vectors(&self) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        match self.wait()? {
+            JobOutput::Vectors(v) => Ok(v),
+            _ => Err(RuntimeError::WrongOutput),
+        }
+    }
+
+    /// The job's result if it has already retired, `None` otherwise.
+    pub fn try_result(&self) -> Option<Result<JobOutput, RuntimeError>> {
+        self.slot.try_peek()
+    }
+}
+
+/// What a job does once a worker runs it on its shard.
+#[derive(Debug)]
+pub(crate) enum JobKind {
+    /// Dispatch of one operator's coalesced MVM requests: drains the
+    /// operator's pending batch at execution time and runs it as one
+    /// `mvm_batch` (one result slot per request, carried by the batch).
+    MvmMany { handle: OperatorHandle },
+    /// Explicit batch MVM: one `mvm_batch` dispatch, one slot for the
+    /// whole batch.
+    MvmBatch { handle: OperatorHandle, xs: Vec<Vec<f64>> },
+    /// Single-RHS INV solve.
+    SolveInv { handle: OperatorHandle, b: Vec<f64> },
+    /// Multi-RHS INV solve through `MacroGroup::solve_inv_batch`.
+    SolveInvBatch { handle: OperatorHandle, bs: Vec<Vec<f64>> },
+    /// Place a matrix on the job's shard and fulfil the registry entry.
+    Load { handle: OperatorHandle, matrix: Matrix, mapping: TileMapping },
+    /// Release the operator and retire the registry entry.
+    Free { handle: OperatorHandle },
+}
+
+/// A scheduled job: target shard, per-shard ticket, payload and the result
+/// slots to fill (exactly one, except `MvmMany`, whose slots live in the
+/// pending batch until it executes).
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub shard: usize,
+    pub ticket: u64,
+    pub kind: JobKind,
+    pub slots: Vec<Arc<Slot>>,
+}

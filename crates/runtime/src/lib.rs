@@ -1,0 +1,93 @@
+//! # gramc-runtime
+//!
+//! Sharded multi-group analog runtime: the scaling layer above one
+//! [`MacroGroup`](gramc_core::MacroGroup). GRAMC's architecture is
+//! explicitly reconfigurable *and scalable* — many AMC macros grouped into
+//! macro groups behind one instruction pipeline — and this crate completes
+//! that story in software: a [`Runtime`] owns `N` independent macro-group
+//! **shards** (each with its own seed and its own analog state), a
+//! cross-shard **operator registry**, and a **work-stealing job scheduler**
+//! that keeps every shard's analog planes busy.
+//!
+//! ```text
+//!                submit(…) → JobHandle            JobHandle::wait()
+//!                     │                                  ▲
+//!  ┌──────────────────▼──────────────────────────────────┴─────────────┐
+//!  │ Runtime                                                           │
+//!  │  ┌───────────────────────────┐  ┌───────────────────────────────┐ │
+//!  │  │ operator registry         │  │ MVM coalescing front-end      │ │
+//!  │  │ OperatorHandle →          │  │ (per-operator pending batch,  │ │
+//!  │  │   (shard, OperatorId)     │  │  executed as one mvm_batch)   │ │
+//!  │  │ placement: least-loaded / │  └───────────────┬───────────────┘ │
+//!  │  │   round-robin / pinned    │                  │                 │
+//!  │  └───────────────────────────┘                  ▼                 │
+//!  │   per-shard job deques (tickets keep per-shard program order)     │
+//!  │  ┌─────────────┐   ┌─────────────┐         ┌─────────────┐        │
+//!  │  │ deque 0     │   │ deque 1     │   ...   │ deque N−1   │        │
+//!  │  │ pop front ▼ │   │             │         │             │        │
+//!  │  │  steal back ◀───┼─────────────┼─────────┼── idle peer │        │
+//!  │  └──────┬──────┘   └──────┬──────┘         └──────┬──────┘        │
+//!  │         ▼                 ▼                       ▼               │
+//!  │  ┌─────────────┐   ┌─────────────┐         ┌─────────────┐        │
+//!  │  │ shard 0     │   │ shard 1     │   ...   │ shard N−1   │        │
+//!  │  │ MacroGroup  │   │ MacroGroup  │         │ MacroGroup  │        │
+//!  │  └─────────────┘   └─────────────┘         └─────────────┘        │
+//!  └───────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! ## Job lifecycle
+//!
+//! 1. **Submit.** [`Runtime::submit_mvm`] appends the request to its
+//!    operator's pending batch: the first request opens the batch and
+//!    enqueues its dispatch job, later requests join it until it runs, so
+//!    many requests against one operator collapse into a single
+//!    `mvm_batch` analog dispatch at the first request's place in program
+//!    order. The other `submit_*` calls ([`Runtime::submit_mvm_batch`],
+//!    [`Runtime::submit_solve_inv`], [`Runtime::submit_solve_inv_batch`],
+//!    [`Runtime::submit_load`], [`Runtime::submit_free`]) enqueue one job
+//!    each. Every submission returns a [`JobHandle`].
+//! 2. **Ticket.** At enqueue time a job takes the next *ticket* of its
+//!    target shard. Tickets are the per-shard program order: a job may only
+//!    execute when every earlier ticket of its shard has retired, no matter
+//!    which worker holds it. This is what makes the sharded runtime
+//!    bit-identical to a single [`MacroGroup`](gramc_core::MacroGroup)
+//!    replaying the same operations (fixed seeds + fixed placement).
+//! 3. **Dispatch.** [`Runtime::run_all`] drains every queue: one worker per
+//!    shard pops its own deque from the front and, when idle, steals from
+//!    the **back** of a peer's deque (with the `parallel` feature; without
+//!    it the calling thread plays all workers itself — same tickets, same
+//!    results). A stolen job whose ticket is not yet due is pushed back and
+//!    the worker moves on, so workers never block holding work.
+//! 4. **Wait.** [`JobHandle::wait`] returns the job's
+//!    [`JobOutput`] (or the job's error) once it has retired.
+//!
+//! ## Placement policies
+//!
+//! * [`Placement::LeastLoaded`] — shard currently holding the fewest live
+//!   operators (the default),
+//! * [`Placement::RoundRobin`] — cycle shards in submission order (how
+//!   [`ShardedTiledOperator`] spreads tiles),
+//! * [`Placement::Pinned`] — explicit shard, for reproducing a single-group
+//!   run or co-locating operators.
+//!
+//! ## Relation to `GramcSystem`
+//!
+//! [`GramcSystem`](gramc_core::system::GramcSystem) remains the paper's
+//! Fig. 3 single-controller machine: its `n_macros` argument sizes one
+//! group and does not shard. [`Runtime::new`] *is* the sharded
+//! constructor — it builds one `MacroGroup` per shard (seeded per shard)
+//! and scales the same four analog primitives across them.
+
+#![warn(missing_docs)]
+
+mod error;
+mod job;
+mod registry;
+mod runtime;
+mod tiling;
+
+pub use error::RuntimeError;
+pub use job::{JobHandle, JobOutput};
+pub use registry::{OperatorHandle, Placement};
+pub use runtime::{QueuePolicy, RunSummary, Runtime};
+pub use tiling::ShardedTiledOperator;

@@ -1,0 +1,214 @@
+//! Cross-shard operator registry: global handles, placement and lifecycle.
+
+use gramc_core::OperatorId;
+
+use crate::error::RuntimeError;
+
+/// Global handle to an operator placed somewhere in the sharded runtime.
+///
+/// Unlike [`OperatorId`](gramc_core::OperatorId), which is local to one
+/// macro group, a handle is valid runtime-wide: the registry maps it to
+/// `(shard, local id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OperatorHandle(pub(crate) usize);
+
+/// Placement policy for newly loaded operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// The shard currently holding the fewest live operators (ties go to
+    /// the lowest shard index). The default.
+    #[default]
+    LeastLoaded,
+    /// Cycle shards in submission order.
+    RoundRobin,
+    /// A fixed shard — reproduces a single-group run exactly and lets
+    /// callers co-locate operators.
+    Pinned(usize),
+}
+
+/// Lifecycle of a registry entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EntryState {
+    /// Load submitted but not yet executed.
+    Pending,
+    /// Live on its shard.
+    Live(OperatorId),
+    /// Free queued while the load itself is still queued (fully pipelined
+    /// load → … → free; the load job runs first, per shard tickets).
+    PendingFreeQueued,
+    /// A free job is queued behind earlier work (the operator is still
+    /// live until that job retires).
+    FreeQueued(OperatorId),
+    /// Freed, or the load failed.
+    Dead,
+}
+
+#[derive(Debug)]
+struct Entry {
+    shard: usize,
+    /// Input dimension (matrix columns) recorded at load submission, so
+    /// MVM requests can be shape-checked before they join a coalesced
+    /// batch.
+    cols: usize,
+    state: EntryState,
+}
+
+/// Handle table plus the placement counters. Lives behind one mutex in the
+/// runtime; every method is a short critical section.
+#[derive(Debug)]
+pub(crate) struct Registry {
+    entries: Vec<Entry>,
+    live_per_shard: Vec<usize>,
+    rr_next: usize,
+}
+
+impl Registry {
+    pub(crate) fn new(shards: usize) -> Self {
+        Self { entries: Vec::new(), live_per_shard: vec![0; shards], rr_next: 0 }
+    }
+
+    /// Chooses a shard under `placement` and allocates a `Pending` entry
+    /// for an operator with `cols` input columns.
+    pub(crate) fn place(
+        &mut self,
+        placement: Placement,
+        cols: usize,
+    ) -> Result<(OperatorHandle, usize), RuntimeError> {
+        let shards = self.live_per_shard.len();
+        let shard = match placement {
+            Placement::LeastLoaded => self
+                .live_per_shard
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &n)| n)
+                .map(|(s, _)| s)
+                .expect("runtime has at least one shard"),
+            Placement::RoundRobin => {
+                let s = self.rr_next % shards;
+                self.rr_next = self.rr_next.wrapping_add(1);
+                s
+            }
+            Placement::Pinned(s) => {
+                if s >= shards {
+                    return Err(RuntimeError::BadShard { shard: s, shards });
+                }
+                s
+            }
+        };
+        self.live_per_shard[shard] += 1;
+        let handle = OperatorHandle(self.entries.len());
+        self.entries.push(Entry { shard, cols, state: EntryState::Pending });
+        Ok((handle, shard))
+    }
+
+    fn entry_mut(&mut self, handle: OperatorHandle) -> Result<&mut Entry, RuntimeError> {
+        self.entries.get_mut(handle.0).ok_or(RuntimeError::InvalidHandle)
+    }
+
+    fn entry(&self, handle: OperatorHandle) -> Result<&Entry, RuntimeError> {
+        self.entries.get(handle.0).ok_or(RuntimeError::InvalidHandle)
+    }
+
+    /// Marks a `Pending` entry live after its load executed (or free-queued
+    /// when the free was already pipelined behind the load).
+    pub(crate) fn fulfill(&mut self, handle: OperatorHandle, id: OperatorId) {
+        let entry = self.entry_mut(handle).expect("fulfilling an allocated entry");
+        entry.state = match entry.state {
+            EntryState::Pending => EntryState::Live(id),
+            EntryState::PendingFreeQueued => EntryState::FreeQueued(id),
+            state => unreachable!("fulfilling a load in state {state:?}"),
+        };
+    }
+
+    /// Retires an entry whose load failed.
+    pub(crate) fn abandon(&mut self, handle: OperatorHandle) {
+        let (shard, state) = {
+            let entry = self.entry_mut(handle).expect("abandoning an allocated entry");
+            (entry.shard, std::mem::replace(&mut entry.state, EntryState::Dead))
+        };
+        if state != EntryState::Dead {
+            self.live_per_shard[shard] = self.live_per_shard[shard].saturating_sub(1);
+        }
+    }
+
+    /// Shard an operator lives (or will live) on — usable while the load is
+    /// still queued, which is what lets follow-up jobs enqueue behind it.
+    /// Free-queued handles are rejected: the handle is dead to further
+    /// submissions the moment its free is accepted.
+    pub(crate) fn shard_of(&self, handle: OperatorHandle) -> Result<usize, RuntimeError> {
+        self.submission_entry(handle).map(|e| e.shard)
+    }
+
+    /// Shard plus input dimension, for shape-checking MVM submissions.
+    pub(crate) fn shard_and_cols(
+        &self,
+        handle: OperatorHandle,
+    ) -> Result<(usize, usize), RuntimeError> {
+        self.submission_entry(handle).map(|e| (e.shard, e.cols))
+    }
+
+    fn submission_entry(&self, handle: OperatorHandle) -> Result<&Entry, RuntimeError> {
+        let entry = self.entry(handle)?;
+        match entry.state {
+            EntryState::PendingFreeQueued | EntryState::FreeQueued(_) | EntryState::Dead => {
+                Err(RuntimeError::InvalidHandle)
+            }
+            EntryState::Pending | EntryState::Live(_) => Ok(entry),
+        }
+    }
+
+    /// Local operator id at execution time. `Pending` states are
+    /// unreachable here: tickets order the load before every job submitted
+    /// after it.
+    pub(crate) fn live_id(&self, handle: OperatorHandle) -> Result<OperatorId, RuntimeError> {
+        let entry = self.entry(handle)?;
+        match entry.state {
+            EntryState::Live(id) | EntryState::FreeQueued(id) => Ok(id),
+            EntryState::Pending | EntryState::PendingFreeQueued | EntryState::Dead => {
+                Err(RuntimeError::InvalidHandle)
+            }
+        }
+    }
+
+    /// Marks the handle free-queued at submission so a second free is
+    /// rejected immediately. A still-pending load is fine — the free job
+    /// enqueues behind it (fully pipelined lifecycle).
+    pub(crate) fn queue_free(&mut self, handle: OperatorHandle) -> Result<usize, RuntimeError> {
+        let entry = self.entry_mut(handle)?;
+        match entry.state {
+            EntryState::Live(id) => {
+                entry.state = EntryState::FreeQueued(id);
+                Ok(entry.shard)
+            }
+            EntryState::Pending => {
+                entry.state = EntryState::PendingFreeQueued;
+                Ok(entry.shard)
+            }
+            EntryState::PendingFreeQueued | EntryState::FreeQueued(_) | EntryState::Dead => {
+                Err(RuntimeError::DoubleFree)
+            }
+        }
+    }
+
+    /// Retires a free-queued entry when its free job executes; returns the
+    /// local id to release.
+    pub(crate) fn retire(&mut self, handle: OperatorHandle) -> Result<OperatorId, RuntimeError> {
+        let (shard, id) = {
+            let entry = self.entry_mut(handle)?;
+            match entry.state {
+                EntryState::FreeQueued(id) => {
+                    entry.state = EntryState::Dead;
+                    (entry.shard, id)
+                }
+                _ => return Err(RuntimeError::InvalidHandle),
+            }
+        };
+        self.live_per_shard[shard] = self.live_per_shard[shard].saturating_sub(1);
+        Ok(id)
+    }
+
+    /// Live-operator count per shard (placement heuristic + introspection).
+    pub(crate) fn live_per_shard(&self) -> &[usize] {
+        &self.live_per_shard
+    }
+}

@@ -1,0 +1,658 @@
+//! The sharded runtime: shards, job queues, the work-stealing drain loop
+//! and the submission front-end.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use gramc_core::tiling::TileMapping;
+use gramc_core::{CoreError, MacroConfig, MacroGroup};
+use gramc_linalg::Matrix;
+
+use crate::error::RuntimeError;
+use crate::job::{Job, JobHandle, JobKind, JobOutput, Slot};
+use crate::registry::{OperatorHandle, Placement, Registry};
+
+/// Where submitted jobs are enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// Each job lands on its target shard's deque (the default). Workers
+    /// then mostly run their own shard's work and steal only under
+    /// imbalance.
+    #[default]
+    HomeShard,
+    /// Every job lands on one deque regardless of its target shard — a
+    /// worst-case skew that makes progress depend entirely on stealing
+    /// (used by the scheduler stress tests).
+    Fixed(usize),
+}
+
+/// What one [`Runtime::run_all`] drain did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Jobs retired during this drain.
+    pub executed: usize,
+    /// Jobs taken from a peer's deque during this drain (only due jobs are
+    /// ever stolen, so every stolen job was executed by its thief).
+    pub stolen: usize,
+    /// Jobs retired per worker during this drain.
+    pub per_worker: Vec<usize>,
+}
+
+/// One shard: an independent macro group plus its ticket counters.
+///
+/// `next_ticket` numbers submissions; `exec_ticket` is the ticket allowed
+/// to run next. Together they serialize each shard's jobs into program
+/// order no matter which worker executes them.
+#[derive(Debug)]
+struct Shard {
+    group: Mutex<MacroGroup>,
+    seed: u64,
+    next_ticket: AtomicU64,
+    exec_ticket: AtomicU64,
+}
+
+/// MVM requests against one operator, awaiting their batch's dispatch job
+/// (enqueued by the first request).
+#[derive(Debug, Default)]
+struct PendingMvms {
+    xs: Vec<Vec<f64>>,
+    slots: Vec<Arc<Slot>>,
+}
+
+/// A sharded analog runtime over `N` independent [`MacroGroup`] shards.
+///
+/// See the crate docs for the architecture; in short: operators are placed
+/// through the registry, jobs are submitted against global
+/// [`OperatorHandle`]s, and [`run_all`](Self::run_all) drains the queues
+/// with one worker per shard plus work stealing.
+///
+/// # Examples
+///
+/// ```
+/// use gramc_linalg::Matrix;
+/// use gramc_runtime::{Placement, Runtime};
+/// use gramc_core::tiling::TileMapping;
+/// use gramc_core::MacroConfig;
+///
+/// # fn main() -> Result<(), gramc_runtime::RuntimeError> {
+/// let rt = Runtime::new(2, 2, MacroConfig::small_ideal(4), 7);
+/// let a = Matrix::from_rows(&[&[1.0, -0.5], &[0.25, 0.75]]);
+/// let op = rt.load(&a, TileMapping::FourBit, Placement::LeastLoaded)?;
+/// // Many users, one model: requests coalesce into one analog dispatch.
+/// let h1 = rt.submit_mvm(op, vec![1.0, 2.0])?;
+/// let h2 = rt.submit_mvm(op, vec![-1.0, 0.5])?;
+/// rt.run_all();
+/// let y1 = h1.wait_vector()?;
+/// assert!((y1[0] - 0.0).abs() < 0.05);
+/// let _ = h2.wait_vector()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Runtime {
+    shards: Vec<Shard>,
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    registry: Mutex<Registry>,
+    pending_mvm: Mutex<BTreeMap<OperatorHandle, PendingMvms>>,
+    /// Jobs enqueued but not yet retired (drain-loop termination).
+    remaining: AtomicUsize,
+    queue_policy: QueuePolicy,
+    executed: Vec<AtomicUsize>,
+    stolen: AtomicUsize,
+}
+
+impl Runtime {
+    /// The sharded constructor: `shards` independent macro groups of
+    /// `macros_per_shard` macros each. Shard `s` is seeded with
+    /// [`shard_seed_of(seed, s)`](Self::shard_seed_of), so shard 0
+    /// reproduces `MacroGroup::new(macros_per_shard, config, seed)`
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize, macros_per_shard: usize, config: MacroConfig, seed: u64) -> Self {
+        Self::with_queue_policy(shards, macros_per_shard, config, seed, QueuePolicy::HomeShard)
+    }
+
+    /// [`new`](Self::new) with an explicit [`QueuePolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or a [`QueuePolicy::Fixed`] queue index is
+    /// out of range.
+    pub fn with_queue_policy(
+        shards: usize,
+        macros_per_shard: usize,
+        config: MacroConfig,
+        seed: u64,
+        queue_policy: QueuePolicy,
+    ) -> Self {
+        assert!(shards >= 1, "a runtime needs at least one shard");
+        if let QueuePolicy::Fixed(q) = queue_policy {
+            assert!(q < shards, "fixed queue {q} out of range for {shards} shards");
+        }
+        let mk_shard = |s: usize| {
+            let shard_seed = Self::shard_seed_of(seed, s);
+            Shard {
+                group: Mutex::new(MacroGroup::new(macros_per_shard, config.clone(), shard_seed)),
+                seed: shard_seed,
+                next_ticket: AtomicU64::new(0),
+                exec_ticket: AtomicU64::new(0),
+            }
+        };
+        Self {
+            shards: (0..shards).map(mk_shard).collect(),
+            queues: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            registry: Mutex::new(Registry::new(shards)),
+            pending_mvm: Mutex::new(BTreeMap::new()),
+            remaining: AtomicUsize::new(0),
+            queue_policy,
+            executed: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            stolen: AtomicUsize::new(0),
+        }
+    }
+
+    /// The paper's macro complement per shard: `shards` groups of 16
+    /// macros of 128×128 each.
+    pub fn paper_sharded(shards: usize, seed: u64) -> Self {
+        Self::new(shards, 16, MacroConfig::default(), seed)
+    }
+
+    /// Seed of shard `s` for base seed `base` — the decorrelation is a
+    /// fixed odd multiplier so shard 0 keeps the base seed verbatim.
+    pub fn shard_seed_of(base: u64, shard: usize) -> u64 {
+        base ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Seed of shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        self.shards[shard].seed
+    }
+
+    /// The macro configuration (identical across shards).
+    pub fn config(&self) -> MacroConfig {
+        self.shards[0].group.lock().expect("shard lock").config().clone()
+    }
+
+    /// Direct access to one shard's macro group, for inspection or
+    /// single-shard workflows. Do not hold the guard across
+    /// [`run_all`](Self::run_all) — workers need the same lock.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadShard`] if out of range.
+    pub fn shard_group(&self, shard: usize) -> Result<MutexGuard<'_, MacroGroup>, RuntimeError> {
+        self.shards
+            .get(shard)
+            .map(|s| s.group.lock().expect("shard lock"))
+            .ok_or(RuntimeError::BadShard { shard, shards: self.shards.len() })
+    }
+
+    /// Live-operator count per shard (the least-loaded placement metric).
+    pub fn live_operators_per_shard(&self) -> Vec<usize> {
+        self.registry.lock().expect("registry lock").live_per_shard().to_vec()
+    }
+
+    /// Jobs currently enqueued (each open coalesced MVM batch counts as
+    /// its one dispatch job).
+    pub fn queued_jobs(&self) -> usize {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    // ── submission ────────────────────────────────────────────────────
+
+    /// Takes the next ticket of `shard` and enqueues the job under the
+    /// queue policy. The queue lock is held across ticket assignment so
+    /// queue order equals ticket order for every shard.
+    fn enqueue(&self, shard: usize, kind: JobKind, slots: Vec<Arc<Slot>>) {
+        let q = match self.queue_policy {
+            QueuePolicy::HomeShard => shard,
+            QueuePolicy::Fixed(q) => q,
+        };
+        let mut queue = self.queues[q].lock().expect("queue lock");
+        let ticket = self.shards[shard].next_ticket.fetch_add(1, Ordering::SeqCst);
+        self.remaining.fetch_add(1, Ordering::SeqCst);
+        queue.push_back(Job { shard, ticket, kind, slots });
+    }
+
+    /// Queues a matrix load. The returned [`OperatorHandle`] is valid for
+    /// submissions immediately — tickets guarantee the load executes
+    /// before any job submitted after it on the same shard.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadShard`] for an out-of-range pinned placement.
+    pub fn submit_load(
+        &self,
+        a: &Matrix,
+        mapping: TileMapping,
+        placement: Placement,
+    ) -> Result<(OperatorHandle, JobHandle), RuntimeError> {
+        let (handle, shard) =
+            self.registry.lock().expect("registry lock").place(placement, a.cols())?;
+        let jh = JobHandle::new();
+        self.enqueue(
+            shard,
+            JobKind::Load { handle, matrix: a.clone(), mapping },
+            vec![jh.slot.clone()],
+        );
+        Ok((handle, jh))
+    }
+
+    /// Submits one MVM request. Requests against the same operator are
+    /// **coalesced**: the first pending request opens a batch and enqueues
+    /// its dispatch job (so the batch takes its shard ticket — its place in
+    /// program order — at that first submission point), and later requests
+    /// join the open batch until the job executes it as a single
+    /// `mvm_batch` — one analog dispatch for the whole crowd, never
+    /// reordered after jobs submitted later.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidHandle`] for dead handles;
+    /// [`CoreError::ShapeMismatch`](gramc_core::CoreError) for a wrong
+    /// input length — checked here so one malformed request cannot poison
+    /// the whole coalesced batch it would have joined.
+    pub fn submit_mvm(&self, op: OperatorHandle, x: Vec<f64>) -> Result<JobHandle, RuntimeError> {
+        let (shard, cols) = self.registry.lock().expect("registry lock").shard_and_cols(op)?;
+        if x.len() != cols {
+            return Err(CoreError::ShapeMismatch { expected: cols, found: x.len() }.into());
+        }
+        let jh = JobHandle::new();
+        // The pending lock is held across the enqueue so opening the batch
+        // and taking its ticket are atomic.
+        let mut pending = self.pending_mvm.lock().expect("pending lock");
+        let entry = pending.entry(op).or_default();
+        let opens_batch = entry.xs.is_empty();
+        entry.xs.push(x);
+        entry.slots.push(jh.slot.clone());
+        if opens_batch {
+            self.enqueue(shard, JobKind::MvmMany { handle: op }, Vec::new());
+        }
+        Ok(jh)
+    }
+
+    /// Submits an explicit batch MVM (one job, one handle for the whole
+    /// batch) — bypasses coalescing.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidHandle`] for dead handles.
+    pub fn submit_mvm_batch(
+        &self,
+        op: OperatorHandle,
+        xs: Vec<Vec<f64>>,
+    ) -> Result<JobHandle, RuntimeError> {
+        let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
+        let jh = JobHandle::new();
+        self.enqueue(shard, JobKind::MvmBatch { handle: op, xs }, vec![jh.slot.clone()]);
+        Ok(jh)
+    }
+
+    /// Submits a single-RHS INV solve.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidHandle`] for dead handles.
+    pub fn submit_solve_inv(
+        &self,
+        op: OperatorHandle,
+        b: Vec<f64>,
+    ) -> Result<JobHandle, RuntimeError> {
+        let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
+        let jh = JobHandle::new();
+        self.enqueue(shard, JobKind::SolveInv { handle: op, b }, vec![jh.slot.clone()]);
+        Ok(jh)
+    }
+
+    /// Submits a multi-RHS INV solve (`MacroGroup::solve_inv_batch`): all
+    /// right-hand sides share one conductance read and one factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidHandle`] for dead handles.
+    pub fn submit_solve_inv_batch(
+        &self,
+        op: OperatorHandle,
+        bs: Vec<Vec<f64>>,
+    ) -> Result<JobHandle, RuntimeError> {
+        let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
+        let jh = JobHandle::new();
+        self.enqueue(shard, JobKind::SolveInvBatch { handle: op, bs }, vec![jh.slot.clone()]);
+        Ok(jh)
+    }
+
+    /// Queues the release of an operator. The handle is dead to further
+    /// submissions immediately; a second free is rejected. A still-queued
+    /// load is fine — the free enqueues behind it (fully pipelined
+    /// load → work → free); if that load then fails, the free job reports
+    /// [`RuntimeError::InvalidHandle`] (there was nothing to release).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DoubleFree`] if already freed or free-queued,
+    /// [`RuntimeError::InvalidHandle`] for unknown handles.
+    pub fn submit_free(&self, op: OperatorHandle) -> Result<JobHandle, RuntimeError> {
+        let shard = self.registry.lock().expect("registry lock").queue_free(op)?;
+        let jh = JobHandle::new();
+        self.enqueue(shard, JobKind::Free { handle: op }, vec![jh.slot.clone()]);
+        Ok(jh)
+    }
+
+    // ── synchronous convenience front-end ─────────────────────────────
+    //
+    // Each of these submits, drains ALL outstanding work (not just its own
+    // job — run_all has no way to retire one job selectively without
+    // breaking per-shard program order), and waits.
+
+    /// Loads a matrix and blocks until it is placed.
+    ///
+    /// # Errors
+    ///
+    /// Placement and mapping errors from the shard.
+    pub fn load(
+        &self,
+        a: &Matrix,
+        mapping: TileMapping,
+        placement: Placement,
+    ) -> Result<OperatorHandle, RuntimeError> {
+        let (_, jh) = self.submit_load(a, mapping, placement)?;
+        self.run_all();
+        match jh.wait()? {
+            JobOutput::Loaded(handle) => Ok(handle),
+            _ => Err(RuntimeError::WrongOutput),
+        }
+    }
+
+    /// Synchronous single MVM.
+    ///
+    /// # Errors
+    ///
+    /// Handle and shard errors.
+    pub fn mvm(&self, op: OperatorHandle, x: &[f64]) -> Result<Vec<f64>, RuntimeError> {
+        let jh = self.submit_mvm(op, x.to_vec())?;
+        self.run_all();
+        jh.wait_vector()
+    }
+
+    /// Synchronous batch MVM.
+    ///
+    /// # Errors
+    ///
+    /// Handle and shard errors.
+    pub fn mvm_batch(
+        &self,
+        op: OperatorHandle,
+        xs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        let jh = self.submit_mvm_batch(op, xs.to_vec())?;
+        self.run_all();
+        jh.wait_vectors()
+    }
+
+    /// Synchronous single-RHS INV solve.
+    ///
+    /// # Errors
+    ///
+    /// Handle and shard errors.
+    pub fn solve_inv(&self, op: OperatorHandle, b: &[f64]) -> Result<Vec<f64>, RuntimeError> {
+        let jh = self.submit_solve_inv(op, b.to_vec())?;
+        self.run_all();
+        jh.wait_vector()
+    }
+
+    /// Synchronous multi-RHS INV solve.
+    ///
+    /// # Errors
+    ///
+    /// Handle and shard errors.
+    pub fn solve_inv_batch(
+        &self,
+        op: OperatorHandle,
+        bs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        let jh = self.submit_solve_inv_batch(op, bs.to_vec())?;
+        self.run_all();
+        jh.wait_vectors()
+    }
+
+    /// Synchronous free.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DoubleFree`] / [`RuntimeError::InvalidHandle`].
+    pub fn free(&self, op: OperatorHandle) -> Result<(), RuntimeError> {
+        let jh = self.submit_free(op)?;
+        self.run_all();
+        jh.wait().map(|_| ())
+    }
+
+    // ── the drain loop ────────────────────────────────────────────────
+
+    /// Drains every queue to empty. With the `parallel` feature one scoped
+    /// worker per shard runs concurrently (idle workers steal from the back
+    /// of peers' deques); without it the calling thread plays worker 0 and
+    /// steals everything itself. Either way every shard retires its jobs in
+    /// ticket order, so results are identical.
+    ///
+    /// Job failures are reported through their [`JobHandle`]s, not here —
+    /// but a job that *panics* (as opposed to returning an error) retires
+    /// its ticket, fills its handles with [`RuntimeError::JobPanicked`]
+    /// (so waiters on other threads wake instead of hanging) and then
+    /// propagates the panic out of `run_all`; the runtime must not be
+    /// reused after that.
+    pub fn run_all(&self) -> RunSummary {
+        let executed_before: Vec<usize> =
+            self.executed.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+        let stolen_before = self.stolen.load(Ordering::SeqCst);
+        self.drain();
+        let per_worker: Vec<usize> = self
+            .executed
+            .iter()
+            .zip(&executed_before)
+            .map(|(c, b)| c.load(Ordering::SeqCst) - b)
+            .collect();
+        RunSummary {
+            executed: per_worker.iter().sum(),
+            stolen: self.stolen.load(Ordering::SeqCst) - stolen_before,
+            per_worker,
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    fn drain(&self) {
+        let workers = self.queues.len();
+        if workers <= 1 {
+            self.worker_loop(0);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                scope.spawn(move || self.worker_loop(w));
+            }
+        });
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn drain(&self) {
+        // Single-threaded fallback: worker 0 pops its own queue and
+        // "steals" every other queue dry, honoring the same tickets.
+        self.worker_loop(0);
+    }
+
+    fn worker_loop(&self, w: usize) {
+        let mut idle = 0u32;
+        while self.remaining.load(Ordering::SeqCst) > 0 {
+            let advanced = match self.grab_job(w) {
+                Some(job) => self.try_execute(w, job),
+                None => false,
+            };
+            if advanced {
+                idle = 0;
+            } else {
+                // Nothing runnable right now (peers hold the due tickets):
+                // yield briefly, then back off to a micro-sleep.
+                idle += 1;
+                if idle < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// Whether the job's shard has retired every earlier ticket, i.e. the
+    /// job may execute right now.
+    fn is_due(&self, job: &Job) -> bool {
+        self.shards[job.shard].exec_ticket.load(Ordering::SeqCst) == job.ticket
+    }
+
+    /// Own deque front first; otherwise steal from a peer's deque, taking
+    /// the job **closest to its back whose ticket is due**. Stealing only
+    /// runnable jobs is what keeps a lone worker (the single-threaded
+    /// fallback, or the last awake worker) from spinning on a stolen job
+    /// whose predecessors it itself still has to run.
+    fn grab_job(&self, w: usize) -> Option<Job> {
+        if let Some(job) = self.queues[w].lock().expect("queue lock").pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for d in 1..n {
+            let peer = (w + d) % n;
+            let mut queue = self.queues[peer].lock().expect("queue lock");
+            if let Some(idx) = queue.iter().rposition(|job| self.is_due(job)) {
+                let job = queue.remove(idx).expect("index from rposition");
+                self.stolen.fetch_add(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Runs the job if its shard's program order allows it; otherwise puts
+    /// it back on this worker's deque (only a job whose predecessor is
+    /// mid-execution on another worker lands here, so the wait is
+    /// bounded). Workers never block holding a job, which is what keeps
+    /// stealing deadlock-free.
+    fn try_execute(&self, w: usize, job: Job) -> bool {
+        let shard = &self.shards[job.shard];
+        if !self.is_due(&job) {
+            self.queues[w].lock().expect("queue lock").push_back(job);
+            return false;
+        }
+        // A panicking job must still retire its ticket and decrement
+        // `remaining`, or the surviving workers would spin on the stuck
+        // shard forever while `std::thread::scope` waits for them. Its
+        // slots are filled with `JobPanicked` so waiters on other threads
+        // wake with an error instead of hanging; the panic itself is
+        // re-raised below and propagates out of `run_all`.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut group = shard.group.lock().expect("shard lock");
+            self.run_kind(&mut group, &job);
+        }));
+        shard.exec_ticket.store(job.ticket + 1, Ordering::SeqCst);
+        self.remaining.fetch_sub(1, Ordering::SeqCst);
+        self.executed[w].fetch_add(1, Ordering::SeqCst);
+        if let Err(payload) = run {
+            for slot in &job.slots {
+                slot.fill(Err(RuntimeError::JobPanicked));
+            }
+            std::panic::resume_unwind(payload);
+        }
+        true
+    }
+
+    /// Executes the job body against its shard's group and fills its
+    /// slots. The registry lock is only ever taken *inside* (leaf lock).
+    fn run_kind(&self, group: &mut MacroGroup, job: &Job) {
+        let live_id = |op: OperatorHandle| self.registry.lock().expect("registry lock").live_id(op);
+        match &job.kind {
+            JobKind::MvmMany { handle } => {
+                // Drain whatever the batch accumulated between its opening
+                // submission and now. The drained slots only live in this
+                // arm, so a panicking dispatch is caught here to wake the
+                // batch's waiters (try_execute covers every other kind via
+                // the job's own slots) before re-raising.
+                let Some(batch) = self.pending_mvm.lock().expect("pending lock").remove(handle)
+                else {
+                    return;
+                };
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    live_id(*handle)
+                        .and_then(|id| group.mvm_batch(id, &batch.xs).map_err(RuntimeError::from))
+                }));
+                match run {
+                    Ok(Ok(ys)) => {
+                        for (slot, y) in batch.slots.iter().zip(ys) {
+                            slot.fill(Ok(JobOutput::Vector(y)));
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        for slot in &batch.slots {
+                            slot.fill(Err(e.clone()));
+                        }
+                    }
+                    Err(payload) => {
+                        for slot in &batch.slots {
+                            slot.fill(Err(RuntimeError::JobPanicked));
+                        }
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+            JobKind::MvmBatch { handle, xs } => {
+                let result = live_id(*handle)
+                    .and_then(|id| group.mvm_batch(id, xs).map_err(RuntimeError::from));
+                job.slots[0].fill(result.map(JobOutput::Vectors));
+            }
+            JobKind::SolveInv { handle, b } => {
+                let result = live_id(*handle)
+                    .and_then(|id| group.solve_inv(id, b).map_err(RuntimeError::from));
+                job.slots[0].fill(result.map(JobOutput::Vector));
+            }
+            JobKind::SolveInvBatch { handle, bs } => {
+                let result = live_id(*handle)
+                    .and_then(|id| group.solve_inv_batch(id, bs).map_err(RuntimeError::from));
+                job.slots[0].fill(result.map(JobOutput::Vectors));
+            }
+            JobKind::Load { handle, matrix, mapping } => {
+                let loaded = match mapping {
+                    TileMapping::FourBit => group.load_matrix(matrix),
+                    TileMapping::BitSlicedInt8 => group.load_matrix_bitsliced(matrix),
+                };
+                match loaded {
+                    Ok(id) => {
+                        self.registry.lock().expect("registry lock").fulfill(*handle, id);
+                        job.slots[0].fill(Ok(JobOutput::Loaded(*handle)));
+                    }
+                    Err(e) => {
+                        self.registry.lock().expect("registry lock").abandon(*handle);
+                        job.slots[0].fill(Err(e.into()));
+                    }
+                }
+            }
+            JobKind::Free { handle } => {
+                let result = self
+                    .registry
+                    .lock()
+                    .expect("registry lock")
+                    .retire(*handle)
+                    .and_then(|id| group.free_operator(id).map_err(RuntimeError::from));
+                job.slots[0].fill(result.map(|()| JobOutput::Freed));
+            }
+        }
+    }
+}

@@ -15,7 +15,8 @@
 //! | [`array`]  | 128×128 crossbar, write-verify, conductance mapping |
 //! | [`circuit`]| MNA simulator + the four AMC topologies |
 //! | [`core`]   | AMC macro group, ISA + controller, functional modules |
-//! | [`nn`]     | LeNet-5 training/quantization + analog backend |
+//! | [`runtime`]| sharded multi-group runtime, work-stealing scheduler |
+//! | [`nn`]     | LeNet-5 training/quantization + analog backends |
 //! | [`data`]   | synthetic digits, PM2.5 regression, spiked Gram |
 //!
 //! # Quickstart
@@ -44,3 +45,4 @@ pub use gramc_data as data;
 pub use gramc_device as device;
 pub use gramc_linalg as linalg;
 pub use gramc_nn as nn;
+pub use gramc_runtime as runtime;
