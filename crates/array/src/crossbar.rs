@@ -12,6 +12,10 @@ use gramc_linalg::Matrix;
 use rand::Rng;
 
 use crate::error::ArrayError;
+use crate::write_verify::ProgramOutcome;
+
+#[cfg(feature = "fault-inject")]
+use gramc_device::{FaultKind, FaultPlan};
 
 /// The paper's array dimension.
 pub const PAPER_ARRAY_SIZE: usize = 128;
@@ -149,6 +153,13 @@ const CACHE_SLOTS: usize = 8;
 /// Noisy reads ([`conductances`](Self::conductances)) model a fresh ADC
 /// sample per call and are deliberately never cached.
 ///
+/// Under the `fault-inject` feature an installed
+/// [`FaultPlan`](gramc_device::FaultPlan) participates in the same
+/// contract: installing or clearing a plan and advancing the fault clock
+/// ([`advance_fault_time`](Self::advance_fault_time), which moves every
+/// drifting cell) all invalidate the cache, so snapshots never outlive a
+/// change of the faulted state.
+///
 /// # Examples
 ///
 /// ```
@@ -171,6 +182,20 @@ pub struct CrossbarArray {
     /// rather than `RefCell` keeps the array `Send + Sync`; reads are
     /// single-owner in practice, so the lock is uncontended).
     cache: Mutex<ConductanceCache>,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<FaultState>,
+}
+
+/// Installed fault plan plus the array's fault clock and the precomputed
+/// stuck-at conductance rails (from the array's device parameters).
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone)]
+struct FaultState {
+    plan: FaultPlan,
+    /// Seconds since the plan was installed (drives drift).
+    time: f64,
+    g_on: f64,
+    g_off: f64,
 }
 
 impl Clone for CrossbarArray {
@@ -181,6 +206,8 @@ impl Clone for CrossbarArray {
             generation: self.generation,
             // Snapshots are derived data; the clone rebuilds on first read.
             cache: Mutex::new(ConductanceCache::default()),
+            #[cfg(feature = "fault-inject")]
+            faults: self.faults.clone(),
         }
     }
 }
@@ -199,7 +226,111 @@ impl CrossbarArray {
                 config.d2d_g0_sigma,
             ));
         }
-        Self { config, cells, generation: 0, cache: Mutex::new(ConductanceCache::default()) }
+        Self {
+            config,
+            cells,
+            generation: 0,
+            cache: Mutex::new(ConductanceCache::default()),
+            #[cfg(feature = "fault-inject")]
+            faults: None,
+        }
+    }
+
+    /// Installs a fault plan: from now on reads are filtered through it
+    /// (stuck cells read their rail, drifting cells decay with the fault
+    /// clock, noisy reads may be disturbed). Invalidates the snapshot
+    /// cache. Installing an [empty](FaultPlan::is_empty) plan leaves every
+    /// read bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's shape differs from the array's.
+    #[cfg(feature = "fault-inject")]
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(plan.shape(), self.shape(), "fault plan shape must match the array");
+        let g_on = self.config.device.conductance_at_gap(self.config.device.gap_min);
+        let g_off = self.config.device.conductance_at_gap(self.config.device.gap_max);
+        self.faults = Some(FaultState { plan, time: 0.0, g_on, g_off });
+        self.invalidate_cache();
+    }
+
+    /// Removes the installed fault plan (if any) and invalidates the cache.
+    #[cfg(feature = "fault-inject")]
+    pub fn clear_fault_plan(&mut self) {
+        if self.faults.take().is_some() {
+            self.invalidate_cache();
+        }
+    }
+
+    /// The installed fault plan, if any.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Advances the fault clock by `dt` seconds — drifting cells relax
+    /// toward `G_off` accordingly. Invalidates the snapshot cache (the
+    /// effective conductances moved). No-op without an installed plan.
+    #[cfg(feature = "fault-inject")]
+    pub fn advance_fault_time(&mut self, dt: f64) {
+        if let Some(fs) = &mut self.faults {
+            fs.time += dt;
+            self.invalidate_cache();
+        }
+    }
+
+    /// Seconds on the fault clock since the plan was installed.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_time(&self) -> f64 {
+        self.faults.as_ref().map_or(0.0, |f| f.time)
+    }
+
+    /// What a read of cell `(row, col)` returns given the fault state, for
+    /// a fault-free read of `g`.
+    #[cfg(feature = "fault-inject")]
+    #[inline]
+    fn fault_adjust(&self, g: f64, row: usize, col: usize) -> f64 {
+        let Some(fs) = &self.faults else { return g };
+        match fs.plan.fault_at(row, col) {
+            None => g,
+            Some(FaultKind::StuckAtOn) => fs.g_on,
+            Some(FaultKind::StuckAtOff) => fs.g_off,
+            Some(FaultKind::Drift) => {
+                // Guard t == 0 so a freshly installed plan is bit-identical
+                // (g_off + (g - g_off) need not round-trip exactly).
+                if fs.time > 0.0 {
+                    let tau = fs.plan.config().drift_tau_s.max(f64::MIN_POSITIVE);
+                    fs.g_off + (g - fs.g_off) * (-fs.time / tau).exp()
+                } else {
+                    g
+                }
+            }
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[inline(always)]
+    fn fault_adjust(&self, g: f64, _row: usize, _col: usize) -> f64 {
+        g
+    }
+
+    /// The rail a stuck cell reads at, if `(row, col)` is stuck under the
+    /// installed plan. Used by the programming paths to detect and report
+    /// cells that cannot take their target.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn stuck_conductance_at(&self, row: usize, col: usize) -> Option<f64> {
+        let fs = self.faults.as_ref()?;
+        match fs.plan.fault_at(row, col)? {
+            FaultKind::StuckAtOn => Some(fs.g_on),
+            FaultKind::StuckAtOff => Some(fs.g_off),
+            FaultKind::Drift => None,
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[inline(always)]
+    pub(crate) fn stuck_conductance_at(&self, _row: usize, _col: usize) -> Option<f64> {
+        None
     }
 
     /// Mutation counter: bumped whenever the array state may have changed
@@ -308,10 +439,48 @@ impl CrossbarArray {
         let mut g = Matrix::zeros(region.rows, region.cols);
         for i in 0..region.rows {
             for j in 0..region.cols {
-                g[(i, j)] = self.cell(region.row0 + i, region.col0 + j).read(rng);
+                let (row, col) = (region.row0 + i, region.col0 + j);
+                g[(i, j)] = self.fault_adjust(self.cell(row, col).read(rng), row, col);
             }
         }
+        self.apply_read_disturb(&mut g, region, rng);
         Ok(g)
+    }
+
+    /// Transient read disturb: with an installed plan whose disturb
+    /// probability is positive, each noisy sample independently dips by the
+    /// configured fraction. Never applied to noise-free (verify/snapshot)
+    /// reads; consumes no RNG when the probability is zero.
+    #[cfg(feature = "fault-inject")]
+    fn apply_read_disturb<R: Rng + ?Sized>(
+        &self,
+        g: &mut Matrix,
+        region: ActiveRegion,
+        rng: &mut R,
+    ) {
+        let Some(fs) = &self.faults else { return };
+        let p = fs.plan.config().read_disturb_prob;
+        if p <= 0.0 {
+            return;
+        }
+        let dip = 1.0 - fs.plan.config().read_disturb_frac;
+        for i in 0..region.rows {
+            for j in 0..region.cols {
+                if rng.gen::<f64>() < p {
+                    g[(i, j)] *= dip;
+                }
+            }
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[inline(always)]
+    fn apply_read_disturb<R: Rng + ?Sized>(
+        &self,
+        _g: &mut Matrix,
+        _region: ActiveRegion,
+        _rng: &mut R,
+    ) {
     }
 
     /// Reads the noise-free conductance matrix of a region.
@@ -324,7 +493,8 @@ impl CrossbarArray {
         let mut g = Matrix::zeros(region.rows, region.cols);
         for i in 0..region.rows {
             for j in 0..region.cols {
-                g[(i, j)] = self.cell(region.row0 + i, region.col0 + j).read_ideal();
+                let (row, col) = (region.row0 + i, region.col0 + j);
+                g[(i, j)] = self.fault_adjust(self.cell(row, col).read_ideal(), row, col);
             }
         }
         Ok(g)
@@ -616,6 +786,12 @@ impl CrossbarArray {
     /// This is the fast path used by the LeNet pipeline; the full pulse-level
     /// path lives in [`crate::WriteVerifyController`].
     ///
+    /// Returns a [`ProgramOutcome`]: without fault injection every cell
+    /// takes its (clamped) target and `failures` is 0; under an installed
+    /// fault plan, stuck cells that cannot land within half a level of
+    /// their target are counted as failures — the same verify-readback
+    /// signal the pulse path reports, surfaced instead of dropped.
+    ///
     /// # Errors
     ///
     /// Returns [`ArrayError::RegionOutOfBounds`] or
@@ -627,7 +803,7 @@ impl CrossbarArray {
         quantizer: &LevelQuantizer,
         sigma_levels: f64,
         rng: &mut R,
-    ) -> Result<(), ArrayError> {
+    ) -> Result<ProgramOutcome, ArrayError> {
         self.check_region(region)?;
         if targets.shape() != region.shape() {
             return Err(ArrayError::ShapeMismatch {
@@ -636,6 +812,7 @@ impl CrossbarArray {
             });
         }
         self.invalidate_cache();
+        let mut failures = 0;
         for i in 0..region.rows {
             for j in 0..region.cols {
                 let mut g = targets[(i, j)];
@@ -643,13 +820,22 @@ impl CrossbarArray {
                     g += sigma_levels * quantizer.step() * standard_normal(rng);
                 }
                 let g = g.clamp(quantizer.g_min(), quantizer.g_max());
+                let (row, col) = (region.row0 + i, region.col0 + j);
                 // Direct cell indexing: `cell_mut` would re-invalidate (and
                 // re-bump the generation) once per cell.
-                let idx = (region.row0 + i) * self.config.cols + (region.col0 + j);
+                let idx = row * self.config.cols + col;
                 self.cells[idx].program_conductance(g);
+                // Verify readback against what the cell will actually read
+                // as (a stuck cell ignores the seated state entirely).
+                if let Some(g_stuck) = self.stuck_conductance_at(row, col) {
+                    let err_levels = (g_stuck - g).abs() / quantizer.step();
+                    if err_levels > 0.5 {
+                        failures += 1;
+                    }
+                }
             }
         }
-        Ok(())
+        Ok(ProgramOutcome { cells: region.rows * region.cols, failures })
     }
 }
 
@@ -927,5 +1113,111 @@ mod tests {
             (g.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 256.0).sqrt();
         let expected = 0.4 * q.step();
         assert!((std - expected).abs() / expected < 0.35, "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn direct_programming_reports_clean_outcome() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut xbar = CrossbarArray::new(ArrayConfig::ideal(4, 4), &mut rng);
+        let q = LevelQuantizer::paper_default();
+        let targets = Matrix::filled(4, 4, 40.0 * MICRO_SIEMENS);
+        let outcome =
+            xbar.program_direct(ActiveRegion::full(4, 4), &targets, &q, 0.0, &mut rng).unwrap();
+        assert_eq!(outcome.cells, 16);
+        assert!(outcome.converged());
+        assert_eq!(outcome.failure_frac(), 0.0);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod fault_inject {
+        use super::*;
+        use gramc_device::{FaultConfig, FaultKind, FaultPlan};
+
+        fn stuck_plan(rows: usize, cols: usize, faults: &[(usize, usize, FaultKind)]) -> FaultPlan {
+            FaultPlan::from_faults(rows, cols, faults, FaultConfig::default())
+        }
+
+        #[test]
+        fn stuck_cells_read_their_rail() {
+            let (mut xbar, _) = ideal_array(4, 4, 50);
+            let q = LevelQuantizer::paper_default();
+            let dev = xbar.config().device.clone();
+            xbar.install_fault_plan(stuck_plan(
+                4,
+                4,
+                &[(0, 0, FaultKind::StuckAtOn), (1, 2, FaultKind::StuckAtOff)],
+            ));
+            let mut rng = StdRng::seed_from_u64(51);
+            let targets = Matrix::filled(4, 4, q.conductance_of(8));
+            let outcome =
+                xbar.program_direct(ActiveRegion::full(4, 4), &targets, &q, 0.0, &mut rng).unwrap();
+            assert_eq!(outcome.failures, 2, "both stuck cells miss a mid-range target");
+            let g = xbar.conductances_ideal(ActiveRegion::full(4, 4)).unwrap();
+            let g_on = dev.conductance_at_gap(dev.gap_min);
+            let g_off = dev.conductance_at_gap(dev.gap_max);
+            assert!((g[(0, 0)] - g_on).abs() < 1e-12);
+            assert!((g[(1, 2)] - g_off).abs() < 1e-12);
+            assert!((g[(3, 3)] - q.conductance_of(8)).abs() < 1e-12, "healthy cell unaffected");
+        }
+
+        #[test]
+        fn installing_and_advancing_faults_invalidates_snapshots() {
+            let (mut xbar, mut rng) = ideal_array(4, 4, 52);
+            let q = LevelQuantizer::paper_default();
+            let region = ActiveRegion::full(4, 4);
+            let targets = Matrix::filled(4, 4, q.conductance_of(12));
+            xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+            let clean = xbar.effective_conductances(region).unwrap();
+            let gen0 = xbar.generation();
+            let mut cfg = FaultConfig::default();
+            cfg.drift_tau_s = 1.0;
+            xbar.install_fault_plan(FaultPlan::from_faults(4, 4, &[(2, 2, FaultKind::Drift)], cfg));
+            assert!(xbar.generation() > gen0, "install must bump the generation");
+            // Fresh install, t = 0: bit-identical readback.
+            assert_eq!(xbar.effective_conductances(region).unwrap(), clean);
+            // Advancing the clock must drop the snapshot and move the cell.
+            xbar.advance_fault_time(2.0);
+            let drifted = xbar.effective_conductances(region).unwrap();
+            assert!(drifted[(2, 2)] < clean[(2, 2)], "drifting cell relaxes toward G_off");
+            assert_eq!(drifted[(0, 0)], clean[(0, 0)], "healthy cells untouched");
+        }
+
+        #[test]
+        fn empty_plan_is_bit_identical() {
+            let (mut a, mut rng_a) = ideal_array(4, 4, 53);
+            let (mut b, mut rng_b) = ideal_array(4, 4, 53);
+            let q = LevelQuantizer::paper_default();
+            let region = ActiveRegion::full(4, 4);
+            let targets = Matrix::filled(4, 4, q.conductance_of(5));
+            b.install_fault_plan(FaultPlan::sample(4, 4, &FaultConfig::default(), 99));
+            let oa = a.program_direct(region, &targets, &q, 0.3, &mut rng_a).unwrap();
+            let ob = b.program_direct(region, &targets, &q, 0.3, &mut rng_b).unwrap();
+            assert_eq!(oa, ob);
+            assert_eq!(
+                a.conductances(region, &mut rng_a).unwrap(),
+                b.conductances(region, &mut rng_b).unwrap(),
+                "zero-rate plan must not perturb reads or the RNG stream"
+            );
+        }
+
+        #[test]
+        fn read_disturb_only_touches_noisy_reads() {
+            let (mut xbar, mut rng) = ideal_array(8, 8, 54);
+            let q = LevelQuantizer::paper_default();
+            let region = ActiveRegion::full(8, 8);
+            let targets = Matrix::filled(8, 8, q.conductance_of(10));
+            xbar.program_direct(region, &targets, &q, 0.0, &mut rng).unwrap();
+            let clean_ideal = xbar.conductances_ideal(region).unwrap();
+            let mut cfg = FaultConfig::default();
+            cfg.read_disturb_prob = 1.0;
+            cfg.read_disturb_frac = 0.5;
+            xbar.install_fault_plan(FaultPlan::from_faults(8, 8, &[], cfg));
+            assert_eq!(xbar.conductances_ideal(region).unwrap(), clean_ideal);
+            let noisy = xbar.conductances(region, &mut rng).unwrap();
+            let expected = q.conductance_of(10) * 0.5;
+            for v in noisy.as_slice() {
+                assert!((v - expected).abs() < 1e-12, "every sample disturbed: {v}");
+            }
+        }
     }
 }

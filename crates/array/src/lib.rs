@@ -34,6 +34,10 @@
 //!   must call [`CrossbarArray::invalidate_cache`] themselves.
 //! * **Noisy reads stay fresh.** [`CrossbarArray::conductances`] models an
 //!   ADC sample with per-cell read noise and is never cached.
+//! * **Faults invalidate too.** Under the `fault-inject` feature,
+//!   installing/clearing a [`gramc_device::FaultPlan`] and advancing the
+//!   fault clock (conductance drift) invalidate the cache the same way a
+//!   programming pass does, so snapshots never serve a stale fault state.
 //!
 //! The batched entry points take a `Matrix` whose rows are drive vectors,
 //! amortize one snapshot (plus one transpose) over the whole batch, and
@@ -70,6 +74,9 @@ pub use crossbar::{ActiveRegion, ArrayConfig, CrossbarArray, PAPER_ARRAY_SIZE};
 pub use error::ArrayError;
 pub use mapping::{BitSlicedMatrix, ConductanceMapper, LevelMatrix, MappedMatrix, SignedEncoding};
 pub use write_verify::{
-    reset_staircase, set_staircase, CellReport, ProgramReport, StaircasePoint, WriteVerifyConfig,
-    WriteVerifyController,
+    reset_staircase, set_staircase, CellReport, ProgramOutcome, ProgramReport, StaircasePoint,
+    WriteVerifyConfig, WriteVerifyController,
 };
+
+#[cfg(feature = "fault-inject")]
+pub use gramc_device::{FaultConfig, FaultKind, FaultPlan};

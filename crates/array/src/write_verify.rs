@@ -83,6 +83,40 @@ pub struct ProgramReport {
     pub failures: usize,
 }
 
+/// Typed verify outcome of one programming pass — the summary every load
+/// path propagates upward instead of dropping the report. Produced by both
+/// the pulse path ([`ProgramReport::outcome`]) and the direct path
+/// ([`CrossbarArray::program_direct`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramOutcome {
+    /// Cells programmed.
+    pub cells: usize,
+    /// Cells whose verify readback missed the tolerance band.
+    pub failures: usize,
+}
+
+impl ProgramOutcome {
+    /// Fraction of cells that failed verify (0 for an empty outcome).
+    pub fn failure_frac(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.cells as f64
+        }
+    }
+
+    /// Whether every cell converged.
+    pub fn converged(&self) -> bool {
+        self.failures == 0
+    }
+
+    /// Accumulates another outcome (multi-plane loads).
+    pub fn merge(&mut self, other: ProgramOutcome) {
+        self.cells += other.cells;
+        self.failures += other.failures;
+    }
+}
+
 impl ProgramReport {
     /// Mean pulses per cell.
     pub fn mean_pulses(&self) -> f64 {
@@ -96,6 +130,11 @@ impl ProgramReport {
     /// Maximum pulses spent on any single cell.
     pub fn max_pulses(&self) -> usize {
         self.cells.iter().map(|c| c.pulses).max().unwrap_or(0)
+    }
+
+    /// The typed verify summary of this report.
+    pub fn outcome(&self) -> ProgramOutcome {
+        ProgramOutcome { cells: self.cells.len(), failures: self.failures }
     }
 
     /// RMS programming error across converged cells, in level units.
@@ -267,7 +306,29 @@ impl WriteVerifyController {
         for i in 0..region.rows {
             for j in 0..region.cols {
                 let target = target_levels[i * region.cols + j];
-                let cell = array.cell_mut(region.row0 + i, region.col0 + j);
+                let (row, col) = (region.row0 + i, region.col0 + j);
+                // A stuck cell (fault injection) reads its rail no matter
+                // how it is pulsed: verify can never close the loop, so
+                // report the non-convergence directly instead of burning
+                // the full pulse budget. Consumes no RNG, keeping healthy
+                // cells' pulse streams identical to the fault-free run.
+                if let Some(g_stuck) = array.stuck_conductance_at(row, col) {
+                    if target > self.quantizer.max_level() {
+                        return Err(ArrayError::LevelOutOfRange {
+                            level: target,
+                            max: self.quantizer.max_level(),
+                        });
+                    }
+                    let achieved_level = self.quantizer.fractional_level(g_stuck);
+                    let converged =
+                        (achieved_level - target as f64).abs() <= self.config.tolerance_levels;
+                    if !converged {
+                        failures += 1;
+                    }
+                    cells.push(CellReport { pulses: 0, achieved_level, converged });
+                    continue;
+                }
+                let cell = array.cell_mut(row, col);
                 let rep = self.program_cell(cell, target, rng)?;
                 total_pulses += rep.pulses;
                 if !rep.converged {

@@ -2,14 +2,20 @@
 //! optimized — matmul (naive / blocked / blocked+threads), multi-RHS LU
 //! substitution, cached vs uncached crossbar MVM, batched vs scalar analog
 //! MVM, and DC-operator reuse — and writes the results to the repo-root
-//! `BENCH_kernels.json` so future PRs can track speedups.
+//! `BENCH_kernels.json` so future PRs can track speedups. With the
+//! `fault-inject` feature the report also carries a **fault sweep**:
+//! serving accuracy and recovery latency of the self-healing runtime as a
+//! function of the stuck-cell rate.
 //!
 //! ```sh
 //! cargo run -p gramc-bench --release --bin bench_kernels [-- output.json]
+//! # fault sweep only (CI smoke mode):
+//! cargo run -p gramc-bench --release --features fault-inject \
+//!     --bin bench_kernels -- --smoke smoke.json
 //! ```
 
 use gramc_array::{ActiveRegion, ArrayConfig, CrossbarArray};
-use gramc_bench::timing::{to_json, Reporter};
+use gramc_bench::timing::{to_json, Reporter, Sample};
 use gramc_circuit::{dc_solve, topology, DcOperator, OpampModel};
 use gramc_core::tiling::TileMapping;
 use gramc_core::{MacroConfig, MacroGroup};
@@ -19,8 +25,96 @@ use gramc_runtime::{Placement, Runtime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Fault sweep: for each stuck-cell rate, serve a fixed MVM workload on a
+/// two-shard runtime with one shard fault-injected mid-workload, and
+/// record (a) the end-to-end relative error of the answers the caller
+/// actually received — recovery on, so quarantine/migration/digital
+/// fallback are all in play — and (b) the wall-clock latency of the drain
+/// that absorbs the faults, as one-shot samples (`iters: 1`; recovery is
+/// not repeatable in place).
+#[cfg(feature = "fault-inject")]
+fn fault_sweep(samples: &mut Vec<Sample>, meta: &mut Vec<(String, String)>) {
+    use gramc_linalg::vector;
+    use gramc_runtime::{FaultConfig, HealthConfig};
+    use std::time::Instant;
+
+    let health = HealthConfig {
+        residual_tolerance: Some(0.2),
+        quarantine_after: 2,
+        max_retries: 2,
+        ..HealthConfig::default()
+    };
+    let mut rng = random::seeded_rng(8);
+    let a = random::gaussian_matrix(&mut rng, 64, 64);
+    let reqs: Vec<Vec<f64>> = (0..32).map(|_| random::normal_vector(&mut rng, 64)).collect();
+
+    println!();
+    for rate in [0.0, 0.02, 0.05, 0.10] {
+        let rt =
+            Runtime::new(2, 4, MacroConfig::small_ideal(64), 9).with_health_config(health.clone());
+        let op = rt.load(&a, TileMapping::FourBit, Placement::Pinned(0)).unwrap();
+        rt.inject_shard_faults(0, &FaultConfig::stuck_at(rate), 31).unwrap();
+
+        let t = Instant::now();
+        let handles: Vec<_> =
+            reqs.iter().map(|x| rt.submit_mvm_batch(op, vec![x.clone()]).unwrap()).collect();
+        let summary = rt.run_all();
+        let ys: Vec<Vec<f64>> =
+            handles.iter().map(|h| h.wait_vectors().unwrap().remove(0)).collect();
+        let elapsed = t.elapsed().as_secs_f64();
+
+        let served_err =
+            reqs.iter().zip(&ys).map(|(x, y)| vector::rel_error(y, &a.matvec(x))).sum::<f64>()
+                / reqs.len() as f64;
+        let recovered = !summary.events.is_empty();
+        println!(
+            "fault sweep rate {rate:.2}: served rel error {served_err:.4}, \
+             {:.3} ms drain, {} failed checks, {} degraded, recovered: {recovered}",
+            elapsed * 1e3,
+            summary.failed_checks,
+            summary.degraded,
+        );
+        let tag = format!("{:02}", (rate * 100.0).round() as u32);
+        samples.push(Sample {
+            name: format!("fault_recovery_drain_64x2shards_rate_{tag}"),
+            iters: 1,
+            mean_ns: elapsed * 1e9,
+            min_ns: elapsed * 1e9,
+        });
+        meta.push((format!("fault_sweep_rel_error_rate_{tag}"), format!("{served_err:.6}")));
+        meta.push((
+            format!("fault_sweep_failed_checks_rate_{tag}"),
+            summary.failed_checks.to_string(),
+        ));
+    }
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    // Smoke mode: only the (feature-gated) fault sweep, for CI.
+    if smoke {
+        #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+        let mut samples = Vec::new();
+        let mut extra_meta: Vec<(String, String)> = Vec::new();
+        #[cfg(feature = "fault-inject")]
+        fault_sweep(&mut samples, &mut extra_meta);
+        #[cfg(not(feature = "fault-inject"))]
+        println!("smoke mode: built without the fault-inject feature, nothing to run");
+        extra_meta.insert(0, ("bench".to_string(), "bench_kernels_smoke".to_string()));
+        let meta: Vec<(&str, String)> =
+            extra_meta.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        std::fs::write(&out_path, to_json(&meta, &samples)).expect("write benchmark json");
+        println!("wrote {out_path}");
+        return;
+    }
+
     let mut r = Reporter::new();
 
     // ── matmul: naive reference vs blocked kernel at the paper dimension
@@ -147,17 +241,29 @@ fn main() {
          the 1-shard drain"
     );
 
-    let meta = [
+    // ── fault sweep (feature-gated): accuracy + recovery latency vs rate.
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+    let mut extra_samples: Vec<Sample> = Vec::new();
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+    let mut extra_meta: Vec<(String, String)> = Vec::new();
+    #[cfg(feature = "fault-inject")]
+    fault_sweep(&mut extra_samples, &mut extra_meta);
+
+    let mut meta = vec![
         ("bench", "bench_kernels".to_string()),
         ("dim_matmul", "512".to_string()),
         ("dim_array", "128".to_string()),
         ("threads", gramc_linalg::parallel::max_threads().to_string()),
         ("parallel_feature", gramc_linalg::parallel::feature_enabled().to_string()),
+        ("fault_inject_feature", cfg!(feature = "fault-inject").to_string()),
         ("matmul_512_speedup_vs_naive", format!("{matmul_speedup:.3}")),
         ("batched_mvm_128_speedup_vs_uncached", format!("{batch_speedup:.3}")),
         ("runtime_sharded_mvm_speedup_4_shards_vs_1", format!("{sharded_speedup_4v1:.3}")),
     ];
-    let json = to_json(&meta, r.samples());
+    meta.extend(extra_meta.iter().map(|(k, v)| (k.as_str(), v.clone())));
+    let mut samples = r.samples().to_vec();
+    samples.extend(extra_samples);
+    let json = to_json(&meta, &samples);
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("wrote {out_path}");
 }

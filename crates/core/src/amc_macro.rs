@@ -20,10 +20,12 @@ use std::sync::Arc;
 
 use gramc_array::{
     ActiveRegion, ArrayConfig, ConductanceMapper, CrossbarArray, LevelMatrix, MappedMatrix,
-    SignedEncoding, WriteVerifyController,
+    ProgramOutcome, SignedEncoding, WriteVerifyController,
 };
 use gramc_circuit::{dc_solve, topology, DcOperator, OpampModel};
 use gramc_device::{CellNoise, LevelQuantizer};
+#[cfg(feature = "fault-inject")]
+use gramc_device::{FaultConfig, FaultPlan};
 use gramc_linalg::{power_iteration, random, vector, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -185,6 +187,22 @@ pub struct OperatorInfo {
     pub planes: usize,
     /// The matrix as quantized onto the levels (the analog ground truth).
     pub quantized: Matrix,
+    /// Verify outcome of the load's programming pass across all planes —
+    /// the write-verify failure count, surfaced instead of dropped.
+    pub program: ProgramOutcome,
+}
+
+/// Result of a [`MacroGroup::health_probe`]: the programmed planes read
+/// back and compared against the operator's mapped target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeReport {
+    /// Matrix entries compared.
+    pub cells: usize,
+    /// Entries whose readback missed the target by more than the probe's
+    /// level tolerance.
+    pub bad_cells: usize,
+    /// Relative Frobenius residual `‖readback − quantized‖ / ‖quantized‖`.
+    pub residual: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -322,7 +340,7 @@ impl MacroGroup {
         cols: usize,
         planes: &[&LevelMatrix],
         op_index: usize,
-    ) -> Result<Vec<PlaneRef>, CoreError> {
+    ) -> Result<(Vec<PlaneRef>, ProgramOutcome), CoreError> {
         if rows > self.config.array_rows || cols > self.config.array_cols {
             return Err(CoreError::InvalidArgument(
                 "matrix exceeds a single array; tile it (see gramc_core::tiling)",
@@ -341,44 +359,53 @@ impl MacroGroup {
             });
         }
         let mut refs = Vec::with_capacity(planes.len());
+        let mut outcome = ProgramOutcome::default();
         for (k, plane) in planes.iter().enumerate() {
             let macro_id = free[k / per_macro];
             let col0 = (k % per_macro) * cols;
             let region = ActiveRegion { row0: 0, col0, rows, cols };
-            self.program_plane(macro_id, region, plane)?;
+            outcome.merge(self.program_plane(macro_id, region, plane)?);
             self.macros[macro_id].owner = Some(op_index);
             refs.push(PlaneRef { macro_id, region });
         }
-        Ok(refs)
+        Ok((refs, outcome))
     }
 
+    /// Programs one level plane and returns its typed verify outcome.
+    ///
+    /// Pulse-mode non-convergence is no longer a hard error here: the
+    /// failure count is surfaced in the outcome (and recorded on the
+    /// operator), leaving the accept/reject policy to the caller — the
+    /// sharded runtime applies its configurable load threshold, standalone
+    /// users read [`OperatorInfo::program`].
     fn program_plane(
         &mut self,
         macro_id: usize,
         region: ActiveRegion,
         plane: &LevelMatrix,
-    ) -> Result<(), CoreError> {
+    ) -> Result<ProgramOutcome, CoreError> {
         match self.config.nonideal.programming {
             ProgrammingMode::Pulse => {
                 let targets = plane.to_targets();
-                self.write_verify
-                    .program_region(
+                let report = self
+                    .write_verify
+                    .program_region_lossy(
                         &mut self.macros[macro_id].array,
                         region,
                         &targets,
                         &mut self.rng,
                     )
                     .map_err(CoreError::from)?;
+                Ok(report.outcome())
             }
             ProgrammingMode::Direct { sigma_levels } => {
                 let targets = plane.to_conductances(&self.quantizer);
                 self.macros[macro_id]
                     .array
                     .program_direct(region, &targets, &self.quantizer, sigma_levels, &mut self.rng)
-                    .map_err(CoreError::from)?;
+                    .map_err(CoreError::from)
             }
         }
-        Ok(())
     }
 
     /// Loads a signed matrix with differential 4-bit mapping (the paper's
@@ -394,7 +421,8 @@ impl MacroGroup {
         let mapped: MappedMatrix = mapper.map(a).map_err(CoreError::from)?;
         let neg = mapped.negative.clone().expect("differential mapping has two planes");
         let op_index = self.operators.len();
-        let planes = self.place_planes(a.rows(), a.cols(), &[&mapped.positive, &neg], op_index)?;
+        let (planes, program) =
+            self.place_planes(a.rows(), a.cols(), &[&mapped.positive, &neg], op_index)?;
         let row_g_sum = self.row_conductance_sums(&planes, a.rows())?;
         let quantized = mapped.dequantize();
         let max_row_levels = (0..a.rows())
@@ -407,6 +435,7 @@ impl MacroGroup {
             scale: mapped.scale,
             planes: 2,
             quantized,
+            program,
         };
         self.operators.push(Operator { info, planes, row_g_sum, g_f, freed: false });
         Ok(OperatorId(op_index))
@@ -426,7 +455,7 @@ impl MacroGroup {
         }
         let sliced = gramc_array::BitSlicedMatrix::map(a).map_err(CoreError::from)?;
         let op_index = self.operators.len();
-        let planes = self.place_planes(
+        let (planes, program) = self.place_planes(
             a.rows(),
             a.cols(),
             &[&sliced.hi_pos, &sliced.hi_neg, &sliced.lo_pos, &sliced.lo_neg],
@@ -453,6 +482,7 @@ impl MacroGroup {
             scale: sliced.scale,
             planes: 4,
             quantized: sliced.dequantize(),
+            program,
         };
         self.operators.push(Operator { info, planes, row_g_sum, g_f, freed: false });
         Ok(OperatorId(op_index))
@@ -1087,6 +1117,99 @@ impl MacroGroup {
         let eigenvalue = vector::dot(&eigenvector, &quantized.matvec(&eigenvector));
         self.macros[planes[0].macro_id].output_buffer = eigenvector.clone();
         Ok(EgvSolution { eigenvalue, eigenvector, iterations, lambda_level })
+    }
+
+    /// Health probe: reads an operator's programmed planes back (ideal read
+    /// — no read noise, but device faults and drift included) and compares
+    /// the realized matrix against the operator's quantized target.
+    ///
+    /// `level_tol` is the per-entry tolerance in level units: an entry whose
+    /// realized value misses the target by more than `level_tol · scale`
+    /// counts as a bad cell. The report's residual is the relative Frobenius
+    /// error of the full readback, the quantity the runtime's health monitor
+    /// thresholds on.
+    ///
+    /// # Errors
+    ///
+    /// Stale-handle errors.
+    pub fn health_probe(&self, id: OperatorId, level_tol: f64) -> Result<ProbeReport, CoreError> {
+        let op = self.operator(id)?;
+        let (rows, cols, scale, nplanes) =
+            (op.info.rows, op.info.cols, op.info.scale, op.info.planes);
+        let step = self.quantizer.step();
+        let mut plane_g = Vec::with_capacity(nplanes);
+        for p in &op.planes {
+            let g = self.macros[p.macro_id]
+                .array
+                .conductances_ideal(p.region)
+                .map_err(CoreError::from)?;
+            plane_g.push(g);
+        }
+        // Decode exactly as the MVM paths do: per-pair level differences
+        // (the shared g_min cancels), bit-sliced pairs recombined as 16·hi+lo.
+        let realized = Matrix::from_fn(rows, cols, |i, j| {
+            let diff =
+                |pair: usize| (plane_g[2 * pair][(i, j)] - plane_g[2 * pair + 1][(i, j)]) / step;
+            let levels = match nplanes {
+                2 => diff(0),
+                4 => 16.0 * diff(0) + diff(1),
+                _ => unreachable!("operators have 2 or 4 planes"),
+            };
+            levels * scale
+        });
+        let tol = level_tol * scale;
+        let mut bad_cells = 0;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..rows {
+            for j in 0..cols {
+                let err = realized[(i, j)] - op.info.quantized[(i, j)];
+                if err.abs() > tol {
+                    bad_cells += 1;
+                }
+                num += err * err;
+                den += op.info.quantized[(i, j)] * op.info.quantized[(i, j)];
+            }
+        }
+        let residual = if den > 0.0 { (num / den).sqrt() } else { num.sqrt() };
+        Ok(ProbeReport { cells: rows * cols, bad_cells, residual })
+    }
+}
+
+/// Fault-injection controls (the `fault-inject` feature): install one
+/// seeded [`FaultPlan`] per macro, advance the shared fault clock, and
+/// clear. Each macro gets a decorrelated seed derived from the campaign
+/// seed, so a group-level injection is reproducible end to end.
+#[cfg(feature = "fault-inject")]
+impl MacroGroup {
+    /// Samples and installs a fault plan on every macro's crossbar.
+    ///
+    /// Macro `m` uses seed `seed ^ (m+1)·0x9E37_79B9_7F4A_7C15` — the same
+    /// golden-ratio decorrelation the sharded runtime applies to shard
+    /// seeds. Installing a plan invalidates the affected arrays' snapshot
+    /// caches; an all-zero `config` leaves behavior bit-identical.
+    pub fn inject_faults(&mut self, config: &FaultConfig, seed: u64) {
+        let (rows, cols) = (self.config.array_rows, self.config.array_cols);
+        for m in &mut self.macros {
+            let macro_seed = seed ^ (m.id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let plan = FaultPlan::sample(rows, cols, config, macro_seed);
+            m.array.install_fault_plan(plan);
+        }
+    }
+
+    /// Advances every macro's fault clock by `dt` seconds (conductance
+    /// drift), invalidating their snapshot caches.
+    pub fn advance_fault_time(&mut self, dt: f64) {
+        for m in &mut self.macros {
+            m.array.advance_fault_time(dt);
+        }
+    }
+
+    /// Removes all installed fault plans.
+    pub fn clear_faults(&mut self) {
+        for m in &mut self.macros {
+            m.array.clear_fault_plan();
+        }
     }
 }
 

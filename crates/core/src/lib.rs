@@ -30,9 +30,15 @@ mod registers;
 pub mod system;
 pub mod tiling;
 
-pub use amc_macro::{AmcMacro, EgvSolution, MacroConfig, MacroGroup, OperatorId, OperatorInfo};
+pub use amc_macro::{
+    AmcMacro, EgvSolution, MacroConfig, MacroGroup, OperatorId, OperatorInfo, ProbeReport,
+};
 pub use converter::{Adc, Dac};
 pub use error::CoreError;
+pub use gramc_array::ProgramOutcome;
+
 pub use functional::{argmax, pool2d, requantize, softmax, Activation, Pooling};
+#[cfg(feature = "fault-inject")]
+pub use gramc_array::{FaultConfig, FaultKind, FaultPlan};
 pub use nonideal::{NonidealityConfig, ProgrammingMode};
 pub use registers::{GateConfiguration, MacroMode, OpampRole, RegisterArray};

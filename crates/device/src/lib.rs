@@ -36,12 +36,14 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod levels;
 mod nmos;
 mod one_t_one_r;
 mod retention;
 mod stanford_pku;
 
+pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use levels::{LevelQuantizer, MICRO_SIEMENS};
 pub use nmos::Nmos;
 pub use one_t_one_r::{CellNoise, OneTOneR};

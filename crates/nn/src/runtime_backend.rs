@@ -141,6 +141,30 @@ mod tests {
         assert_eq!(logits_single, logits_sharded);
     }
 
+    /// Determinism under injection: the `fault-inject` machinery compiled
+    /// in with a **zero-rate** plan installed on every shard must leave
+    /// the LeNet logits bit-identical to the single-group baseline — same
+    /// seeds, same operation order, not one extra RNG draw.
+    #[test]
+    #[cfg(feature = "fault-inject")]
+    fn zero_rate_injection_keeps_lenet_logits_bit_identical() {
+        use gramc_runtime::FaultConfig;
+
+        let (net, images, _) = trained_model();
+        let mut single =
+            GramcLenet::new(net.clone(), Precision::Int4, MacroConfig::default(), 16, 122).unwrap();
+        let mut sharded =
+            RuntimeLenet::new(net, Precision::Int4, MacroConfig::default(), 1, 16, 122).unwrap();
+        let zero = FaultConfig::default();
+        assert!(zero.is_fault_free());
+        sharded.runtime().inject_shard_faults(0, &zero, 7).unwrap();
+
+        let sample = &images[..3];
+        let logits_single = single.logits_batch(sample).unwrap();
+        let logits_sharded = sharded.logits_batch(sample).unwrap();
+        assert_eq!(logits_single, logits_sharded);
+    }
+
     #[test]
     fn multi_shard_backend_is_accurate() {
         let (net, images, labels) = trained_model();

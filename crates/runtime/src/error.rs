@@ -30,6 +30,24 @@ pub enum RuntimeError {
     /// [`Runtime::run_all`](crate::Runtime::run_all) on the driving thread;
     /// waiters on other threads see this error instead of hanging.
     JobPanicked,
+    /// [`JobHandle::wait_timeout`](crate::JobHandle::wait_timeout) gave up
+    /// before the job retired — usually a job that was submitted but never
+    /// drained with [`Runtime::run_all`](crate::Runtime::run_all).
+    WaitTimeout,
+    /// A submitted input vector contains a non-finite value (`NaN` or
+    /// `±inf`). Rejected at submission, mirroring the shape check, so one
+    /// malformed request cannot poison an analog dispatch or a coalesced
+    /// batch.
+    NonFiniteInput,
+    /// A load's write-verify pass left more cells unconverged than the
+    /// health policy's `max_load_failure_frac` allows, even after its
+    /// bounded reprogram retries.
+    ProgramVerifyFailed {
+        /// Cells that failed to verify on the final attempt.
+        failed_cells: usize,
+        /// Cells programmed per attempt.
+        total_cells: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -43,6 +61,11 @@ impl fmt::Display for RuntimeError {
             }
             Self::WrongOutput => write!(f, "job output variant does not match the request"),
             Self::JobPanicked => write!(f, "job panicked on its shard"),
+            Self::WaitTimeout => write!(f, "timed out waiting for a job to retire"),
+            Self::NonFiniteInput => write!(f, "input vector contains NaN or infinite values"),
+            Self::ProgramVerifyFailed { failed_cells, total_cells } => {
+                write!(f, "write-verify failed on {failed_cells}/{total_cells} cells")
+            }
         }
     }
 }

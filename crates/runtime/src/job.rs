@@ -1,6 +1,7 @@
 //! Jobs, result slots and the handles callers wait on.
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use gramc_core::tiling::TileMapping;
 use gramc_linalg::Matrix;
@@ -44,6 +45,19 @@ impl Slot {
         let mut state = self.state.lock().expect("slot lock");
         while state.is_none() {
             state = self.ready.wait(state).expect("slot lock");
+        }
+        state.clone().expect("checked above")
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Result<JobOutput, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("slot lock");
+        while state.is_none() {
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero()) else {
+                return Err(RuntimeError::WaitTimeout);
+            };
+            state = self.ready.wait_timeout(state, left).expect("slot lock").0;
         }
         state.clone().expect("checked above")
     }
@@ -107,19 +121,37 @@ impl JobHandle {
         }
     }
 
+    /// Blocks until the job has retired **or** `timeout` elapses. A caller
+    /// waiting on a job nobody drains — e.g. `run_all` was never called, or
+    /// the driving thread died — gets [`RuntimeError::WaitTimeout`] instead
+    /// of blocking forever.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WaitTimeout`] on expiry; otherwise the job's own
+    /// error, if it failed.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<JobOutput, RuntimeError> {
+        self.slot.wait_timeout(timeout)
+    }
+
     /// The job's result if it has already retired, `None` otherwise.
     pub fn try_result(&self) -> Option<Result<JobOutput, RuntimeError>> {
         self.slot.try_peek()
     }
 }
 
-/// What a job does once a worker runs it on its shard.
-#[derive(Debug)]
+/// What a job does once a worker runs it on its shard. `Clone` because the
+/// recovery machinery re-dispatches failed or migrated jobs.
+#[derive(Debug, Clone)]
 pub(crate) enum JobKind {
     /// Dispatch of one operator's coalesced MVM requests: drains the
     /// operator's pending batch at execution time and runs it as one
     /// `mvm_batch` (one result slot per request, carried by the batch).
     MvmMany { handle: OperatorHandle },
+    /// A drained coalesced batch being re-dispatched (retry or migration):
+    /// the requests already left the pending table, so they ride in the
+    /// job, one result slot per request.
+    MvmSet { handle: OperatorHandle, xs: Vec<Vec<f64>> },
     /// Explicit batch MVM: one `mvm_batch` dispatch, one slot for the
     /// whole batch.
     MvmBatch { handle: OperatorHandle, xs: Vec<Vec<f64>> },
@@ -128,18 +160,35 @@ pub(crate) enum JobKind {
     /// Multi-RHS INV solve through `MacroGroup::solve_inv_batch`.
     SolveInvBatch { handle: OperatorHandle, bs: Vec<Vec<f64>> },
     /// Place a matrix on the job's shard and fulfil the registry entry.
-    Load { handle: OperatorHandle, matrix: Matrix, mapping: TileMapping },
+    Load { handle: OperatorHandle, matrix: Arc<Matrix>, mapping: TileMapping },
     /// Release the operator and retire the registry entry.
     Free { handle: OperatorHandle },
 }
 
-/// A scheduled job: target shard, per-shard ticket, payload and the result
+impl JobKind {
+    /// The operator a compute job targets (`None` for load/free lifecycle
+    /// jobs, which the recovery path never re-dispatches).
+    pub(crate) fn operator(&self) -> Option<OperatorHandle> {
+        match self {
+            Self::MvmMany { handle }
+            | Self::MvmSet { handle, .. }
+            | Self::MvmBatch { handle, .. }
+            | Self::SolveInv { handle, .. }
+            | Self::SolveInvBatch { handle, .. } => Some(*handle),
+            Self::Load { .. } | Self::Free { .. } => None,
+        }
+    }
+}
+
+/// A scheduled job: target shard, per-shard ticket, payload, the result
 /// slots to fill (exactly one, except `MvmMany`, whose slots live in the
-/// pending batch until it executes).
+/// pending batch until it executes — and `MvmSet`, with one per request),
+/// and how many times the recovery policy has already re-dispatched it.
 #[derive(Debug)]
 pub(crate) struct Job {
     pub shard: usize,
     pub ticket: u64,
     pub kind: JobKind,
     pub slots: Vec<Arc<Slot>>,
+    pub retries: u32,
 }

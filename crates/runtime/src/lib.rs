@@ -70,6 +70,44 @@
 //! * [`Placement::Pinned`] — explicit shard, for reproducing a single-group
 //!   run or co-locating operators.
 //!
+//! ## Failure semantics
+//!
+//! The runtime separates four failure channels; which one fires is part of
+//! the API contract:
+//!
+//! * **Panics** are reserved for caller bugs and poisoned internals:
+//!   locking a poisoned shard, indexing a shard out of range through the
+//!   panicking accessors. A job body that panics on its shard fills every
+//!   waiter with [`RuntimeError::JobPanicked`] and the panic is re-raised
+//!   from [`Runtime::run_all`] on the driving thread — waiters never hang.
+//! * **Typed errors** cover everything recoverable by the caller:
+//!   shape/finiteness rejection at submit time
+//!   ([`RuntimeError::NonFiniteInput`]), stale handles
+//!   ([`RuntimeError::InvalidHandle`]), bounded waits
+//!   ([`RuntimeError::WaitTimeout`] from [`JobHandle::wait_timeout`]), and
+//!   loads whose write-verify pass stays above the health policy's
+//!   threshold through every reprogram attempt
+//!   ([`RuntimeError::ProgramVerifyFailed`]).
+//! * **Quarantine** is the runtime healing itself: once a shard
+//!   accumulates [`HealthConfig::quarantine_after`] failed checks (job
+//!   residuals over tolerance, failed [probes](Runtime::probe_shard),
+//!   unverifiable loads), it stops receiving placements, its operators are
+//!   re-programmed onto healthy shards, and queued jobs follow them. The
+//!   caller sees correct results, plus [`HealthEvent`]s in
+//!   [`RunSummary::events`].
+//! * **Degraded mode** is the last rung: with no healthy shard to migrate
+//!   to — or a single job out of retries — results come from the digital
+//!   reference path (`matmul_reference` / LU on the registry's kept
+//!   matrix). Still correct answers, still reported: the summary counts
+//!   degraded dispatches and records an [`HealthEvent::OperatorDegraded`]
+//!   per affected operator.
+//!
+//! Fault injection (the `fault-inject` feature, re-exported from
+//! `gramc-core`) drives all four channels deterministically in tests and
+//! benches: [`Runtime::inject_shard_faults`] installs a seeded
+//! [`FaultPlan`](gramc_core::FaultPlan) on one shard's macros; an all-zero
+//! [`FaultConfig`] is bit-identical to the feature being off.
+//!
 //! ## Relation to `GramcSystem`
 //!
 //! [`GramcSystem`](gramc_core::system::GramcSystem) remains the paper's
@@ -81,13 +119,20 @@
 #![warn(missing_docs)]
 
 mod error;
+mod health;
 mod job;
 mod registry;
 mod runtime;
 mod tiling;
 
 pub use error::RuntimeError;
+pub use health::{HealthConfig, HealthEvent};
 pub use job::{JobHandle, JobOutput};
 pub use registry::{OperatorHandle, Placement};
 pub use runtime::{QueuePolicy, RunSummary, Runtime};
 pub use tiling::ShardedTiledOperator;
+
+pub use gramc_core::{ProbeReport, ProgramOutcome};
+
+#[cfg(feature = "fault-inject")]
+pub use gramc_core::{FaultConfig, FaultKind, FaultPlan};

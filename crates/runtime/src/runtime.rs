@@ -7,12 +7,15 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use gramc_core::tiling::TileMapping;
-use gramc_core::{CoreError, MacroConfig, MacroGroup};
-use gramc_linalg::Matrix;
+#[cfg(feature = "fault-inject")]
+use gramc_core::FaultConfig;
+use gramc_core::{CoreError, MacroConfig, MacroGroup, ProbeReport};
+use gramc_linalg::{lu, vector, Matrix};
 
 use crate::error::RuntimeError;
+use crate::health::{HealthConfig, HealthEvent, ShardHealth};
 use crate::job::{Job, JobHandle, JobKind, JobOutput, Slot};
-use crate::registry::{OperatorHandle, Placement, Registry};
+use crate::registry::{ExecTarget, FreeTarget, OperatorHandle, Placement, Registry};
 
 /// Where submitted jobs are enqueued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,6 +41,16 @@ pub struct RunSummary {
     pub stolen: usize,
     /// Jobs retired per worker during this drain.
     pub per_worker: Vec<usize>,
+    /// Health checks that failed during this drain: residual misses, failed
+    /// probes, loads whose write-verify stayed over threshold.
+    pub failed_checks: usize,
+    /// Jobs answered from the digital fallback path during this drain
+    /// (out of retries, or their operator had been degraded).
+    pub degraded: usize,
+    /// Recovery actions taken since the previous drain (quarantines,
+    /// migrations, degradations, failed loads) in the order they happened.
+    /// Probes between drains report here too.
+    pub events: Vec<HealthEvent>,
 }
 
 /// One shard: an independent macro group plus its ticket counters.
@@ -101,6 +114,11 @@ pub struct Runtime {
     queue_policy: QueuePolicy,
     executed: Vec<AtomicUsize>,
     stolen: AtomicUsize,
+    health_cfg: HealthConfig,
+    health: Vec<ShardHealth>,
+    events: Mutex<Vec<HealthEvent>>,
+    failed_checks: AtomicUsize,
+    degraded: AtomicUsize,
 }
 
 impl Runtime {
@@ -152,7 +170,26 @@ impl Runtime {
             queue_policy,
             executed: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
             stolen: AtomicUsize::new(0),
+            health_cfg: HealthConfig::default(),
+            health: (0..shards).map(|_| ShardHealth::default()).collect(),
+            events: Mutex::new(Vec::new()),
+            failed_checks: AtomicUsize::new(0),
+            degraded: AtomicUsize::new(0),
         }
+    }
+
+    /// Replaces the health-monitoring policy (builder style). The default
+    /// [`HealthConfig`] has per-job residual checks **off**, which keeps
+    /// results bit-identical to a runtime without health machinery.
+    #[must_use]
+    pub fn with_health_config(mut self, cfg: HealthConfig) -> Self {
+        self.health_cfg = cfg;
+        self
+    }
+
+    /// The active health-monitoring policy.
+    pub fn health_config(&self) -> &HealthConfig {
+        &self.health_cfg
     }
 
     /// The paper's macro complement per shard: `shards` groups of 16
@@ -217,6 +254,12 @@ impl Runtime {
     /// queue policy. The queue lock is held across ticket assignment so
     /// queue order equals ticket order for every shard.
     fn enqueue(&self, shard: usize, kind: JobKind, slots: Vec<Arc<Slot>>) {
+        self.enqueue_job(shard, kind, slots, 0);
+    }
+
+    /// [`enqueue`](Self::enqueue) carrying a retry count — how the recovery
+    /// path re-dispatches failed or migrated jobs.
+    fn enqueue_job(&self, shard: usize, kind: JobKind, slots: Vec<Arc<Slot>>, retries: u32) {
         let q = match self.queue_policy {
             QueuePolicy::HomeShard => shard,
             QueuePolicy::Fixed(q) => q,
@@ -224,7 +267,18 @@ impl Runtime {
         let mut queue = self.queues[q].lock().expect("queue lock");
         let ticket = self.shards[shard].next_ticket.fetch_add(1, Ordering::SeqCst);
         self.remaining.fetch_add(1, Ordering::SeqCst);
-        queue.push_back(Job { shard, ticket, kind, slots });
+        queue.push_back(Job { shard, ticket, kind, slots, retries });
+    }
+
+    /// Rejects `NaN`/`±inf` inputs at submission time (mirroring the shape
+    /// check): an analog driver cannot encode them, and catching them here
+    /// keeps one malformed request from poisoning a coalesced batch.
+    fn check_finite(xs: &[f64]) -> Result<(), RuntimeError> {
+        if xs.iter().all(|x| x.is_finite()) {
+            Ok(())
+        } else {
+            Err(RuntimeError::NonFiniteInput)
+        }
     }
 
     /// Queues a matrix load. The returned [`OperatorHandle`] is valid for
@@ -240,14 +294,15 @@ impl Runtime {
         mapping: TileMapping,
         placement: Placement,
     ) -> Result<(OperatorHandle, JobHandle), RuntimeError> {
-        let (handle, shard) =
-            self.registry.lock().expect("registry lock").place(placement, a.cols())?;
+        let matrix = Arc::new(a.clone());
+        let (handle, shard) = self.registry.lock().expect("registry lock").place(
+            placement,
+            a.cols(),
+            matrix.clone(),
+            mapping,
+        )?;
         let jh = JobHandle::new();
-        self.enqueue(
-            shard,
-            JobKind::Load { handle, matrix: a.clone(), mapping },
-            vec![jh.slot.clone()],
-        );
+        self.enqueue(shard, JobKind::Load { handle, matrix, mapping }, vec![jh.slot.clone()]);
         Ok((handle, jh))
     }
 
@@ -270,6 +325,7 @@ impl Runtime {
         if x.len() != cols {
             return Err(CoreError::ShapeMismatch { expected: cols, found: x.len() }.into());
         }
+        Self::check_finite(&x)?;
         let jh = JobHandle::new();
         // The pending lock is held across the enqueue so opening the batch
         // and taking its ticket are atomic.
@@ -296,6 +352,9 @@ impl Runtime {
         xs: Vec<Vec<f64>>,
     ) -> Result<JobHandle, RuntimeError> {
         let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
+        for x in &xs {
+            Self::check_finite(x)?;
+        }
         let jh = JobHandle::new();
         self.enqueue(shard, JobKind::MvmBatch { handle: op, xs }, vec![jh.slot.clone()]);
         Ok(jh)
@@ -312,6 +371,7 @@ impl Runtime {
         b: Vec<f64>,
     ) -> Result<JobHandle, RuntimeError> {
         let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
+        Self::check_finite(&b)?;
         let jh = JobHandle::new();
         self.enqueue(shard, JobKind::SolveInv { handle: op, b }, vec![jh.slot.clone()]);
         Ok(jh)
@@ -329,6 +389,9 @@ impl Runtime {
         bs: Vec<Vec<f64>>,
     ) -> Result<JobHandle, RuntimeError> {
         let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
+        for b in &bs {
+            Self::check_finite(b)?;
+        }
         let jh = JobHandle::new();
         self.enqueue(shard, JobKind::SolveInvBatch { handle: op, bs }, vec![jh.slot.clone()]);
         Ok(jh)
@@ -457,6 +520,8 @@ impl Runtime {
         let executed_before: Vec<usize> =
             self.executed.iter().map(|c| c.load(Ordering::SeqCst)).collect();
         let stolen_before = self.stolen.load(Ordering::SeqCst);
+        let failed_before = self.failed_checks.load(Ordering::SeqCst);
+        let degraded_before = self.degraded.load(Ordering::SeqCst);
         self.drain();
         let per_worker: Vec<usize> = self
             .executed
@@ -468,6 +533,9 @@ impl Runtime {
             executed: per_worker.iter().sum(),
             stolen: self.stolen.load(Ordering::SeqCst) - stolen_before,
             per_worker,
+            failed_checks: self.failed_checks.load(Ordering::SeqCst) - failed_before,
+            degraded: self.degraded.load(Ordering::SeqCst) - degraded_before,
+            events: std::mem::take(&mut *self.events.lock().expect("events lock")),
         }
     }
 
@@ -561,24 +629,63 @@ impl Runtime {
         // re-raised below and propagates out of `run_all`.
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut group = shard.group.lock().expect("shard lock");
-            self.run_kind(&mut group, &job);
+            self.run_kind(&mut group, &job)
         }));
         shard.exec_ticket.store(job.ticket + 1, Ordering::SeqCst);
-        self.remaining.fetch_sub(1, Ordering::SeqCst);
         self.executed[w].fetch_add(1, Ordering::SeqCst);
-        if let Err(payload) = run {
-            for slot in &job.slots {
-                slot.fill(Err(RuntimeError::JobPanicked));
+        // Recovery runs here, after the group lock is released — healing
+        // locks other shards' groups and must never do so while holding
+        // one. `remaining` is decremented for the original job LAST, after
+        // any re-dispatch has incremented it, so a lone re-enqueued job
+        // can never make `remaining` touch zero and end the drain early.
+        match run {
+            Ok(Verdict::Done) => {}
+            Ok(Verdict::Requeue { to, kind, slots }) => {
+                self.enqueue_job(to, kind, slots, job.retries);
             }
-            std::panic::resume_unwind(payload);
+            Ok(Verdict::Failed { kind, slots }) => {
+                self.handle_failure(job.shard, job.retries, kind, slots);
+            }
+            Ok(Verdict::ShardSuspect) => {
+                self.note_failure(job.shard);
+            }
+            Err(payload) => {
+                self.remaining.fetch_sub(1, Ordering::SeqCst);
+                for slot in &job.slots {
+                    slot.fill(Err(RuntimeError::JobPanicked));
+                }
+                std::panic::resume_unwind(payload);
+            }
         }
+        self.remaining.fetch_sub(1, Ordering::SeqCst);
         true
     }
 
-    /// Executes the job body against its shard's group and fills its
-    /// slots. The registry lock is only ever taken *inside* (leaf lock).
-    fn run_kind(&self, group: &mut MacroGroup, job: &Job) {
-        let live_id = |op: OperatorHandle| self.registry.lock().expect("registry lock").live_id(op);
+    /// Executes the job body against its shard's group, fills its slots,
+    /// and reports what the recovery path (running later, outside the
+    /// group lock) must do. The registry lock is only ever taken *inside*
+    /// (leaf lock).
+    fn run_kind(&self, group: &mut MacroGroup, job: &Job) -> Verdict {
+        // One registry lookup decides where a compute job actually runs.
+        // A job whose operator is still homed on a *quarantined* shard hit
+        // the migration window: bounce it (a requeue that burns no retry)
+        // until the healer has relocated or demoted the operator, instead
+        // of wasting analog dispatches — and the job's retries — on arrays
+        // already known to be bad.
+        let route = |op: OperatorHandle| -> Route {
+            let reg = self.registry.lock().expect("registry lock");
+            match reg.exec_target(op) {
+                Err(e) => Route::Fail(e),
+                Ok(ExecTarget::Digital(m)) => Route::Digital(m),
+                Ok(ExecTarget::Analog { shard, id }) => {
+                    if shard == job.shard && !reg.is_quarantined(shard) {
+                        Route::Run(id)
+                    } else {
+                        Route::Requeue(shard)
+                    }
+                }
+            }
+        };
         match &job.kind {
             JobKind::MvmMany { handle } => {
                 // Drain whatever the batch accumulated between its opening
@@ -588,14 +695,42 @@ impl Runtime {
                 // the job's own slots) before re-raising.
                 let Some(batch) = self.pending_mvm.lock().expect("pending lock").remove(handle)
                 else {
-                    return;
+                    return Verdict::Done;
+                };
+                let id = match route(*handle) {
+                    Route::Fail(e) => {
+                        for slot in &batch.slots {
+                            slot.fill(Err(e.clone()));
+                        }
+                        return Verdict::Done;
+                    }
+                    Route::Digital(m) => {
+                        for (slot, x) in batch.slots.iter().zip(&batch.xs) {
+                            slot.fill(Ok(JobOutput::Vector(m.matvec(x))));
+                        }
+                        self.degraded.fetch_add(1, Ordering::SeqCst);
+                        return Verdict::Done;
+                    }
+                    Route::Requeue(to) => {
+                        return Verdict::Requeue {
+                            to,
+                            kind: JobKind::MvmSet { handle: *handle, xs: batch.xs },
+                            slots: batch.slots,
+                        };
+                    }
+                    Route::Run(id) => id,
                 };
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    live_id(*handle)
-                        .and_then(|id| group.mvm_batch(id, &batch.xs).map_err(RuntimeError::from))
+                    group.mvm_batch(id, &batch.xs).map_err(RuntimeError::from)
                 }));
                 match run {
                     Ok(Ok(ys)) => {
+                        if !self.mvm_residuals_ok(group, id, &batch.xs, &ys) {
+                            return Verdict::Failed {
+                                kind: JobKind::MvmSet { handle: *handle, xs: batch.xs },
+                                slots: batch.slots,
+                            };
+                        }
                         for (slot, y) in batch.slots.iter().zip(ys) {
                             slot.fill(Ok(JobOutput::Vector(y)));
                         }
@@ -612,47 +747,552 @@ impl Runtime {
                         std::panic::resume_unwind(payload);
                     }
                 }
+                Verdict::Done
             }
-            JobKind::MvmBatch { handle, xs } => {
-                let result = live_id(*handle)
-                    .and_then(|id| group.mvm_batch(id, xs).map_err(RuntimeError::from));
-                job.slots[0].fill(result.map(JobOutput::Vectors));
-            }
-            JobKind::SolveInv { handle, b } => {
-                let result = live_id(*handle)
-                    .and_then(|id| group.solve_inv(id, b).map_err(RuntimeError::from));
-                job.slots[0].fill(result.map(JobOutput::Vector));
-            }
-            JobKind::SolveInvBatch { handle, bs } => {
-                let result = live_id(*handle)
-                    .and_then(|id| group.solve_inv_batch(id, bs).map_err(RuntimeError::from));
-                job.slots[0].fill(result.map(JobOutput::Vectors));
-            }
-            JobKind::Load { handle, matrix, mapping } => {
-                let loaded = match mapping {
-                    TileMapping::FourBit => group.load_matrix(matrix),
-                    TileMapping::BitSlicedInt8 => group.load_matrix_bitsliced(matrix),
-                };
-                match loaded {
-                    Ok(id) => {
-                        self.registry.lock().expect("registry lock").fulfill(*handle, id);
-                        job.slots[0].fill(Ok(JobOutput::Loaded(*handle)));
+            JobKind::MvmSet { handle, xs } => match route(*handle) {
+                Route::Fail(e) => {
+                    for slot in &job.slots {
+                        slot.fill(Err(e.clone()));
+                    }
+                    Verdict::Done
+                }
+                Route::Digital(m) => {
+                    for (slot, x) in job.slots.iter().zip(xs) {
+                        slot.fill(Ok(JobOutput::Vector(m.matvec(x))));
+                    }
+                    self.degraded.fetch_add(1, Ordering::SeqCst);
+                    Verdict::Done
+                }
+                Route::Requeue(to) => {
+                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
+                }
+                Route::Run(id) => match group.mvm_batch(id, xs) {
+                    Ok(ys) => {
+                        if !self.mvm_residuals_ok(group, id, xs, &ys) {
+                            return Verdict::Failed {
+                                kind: job.kind.clone(),
+                                slots: job.slots.clone(),
+                            };
+                        }
+                        for (slot, y) in job.slots.iter().zip(ys) {
+                            slot.fill(Ok(JobOutput::Vector(y)));
+                        }
+                        Verdict::Done
                     }
                     Err(e) => {
-                        self.registry.lock().expect("registry lock").abandon(*handle);
+                        for slot in &job.slots {
+                            slot.fill(Err(RuntimeError::from(e.clone())));
+                        }
+                        Verdict::Done
+                    }
+                },
+            },
+            JobKind::MvmBatch { handle, xs } => match route(*handle) {
+                Route::Fail(e) => {
+                    job.slots[0].fill(Err(e));
+                    Verdict::Done
+                }
+                Route::Digital(m) => {
+                    let ys = xs.iter().map(|x| m.matvec(x)).collect();
+                    job.slots[0].fill(Ok(JobOutput::Vectors(ys)));
+                    self.degraded.fetch_add(1, Ordering::SeqCst);
+                    Verdict::Done
+                }
+                Route::Requeue(to) => {
+                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
+                }
+                Route::Run(id) => match group.mvm_batch(id, xs) {
+                    Ok(ys) => {
+                        if !self.mvm_residuals_ok(group, id, xs, &ys) {
+                            return Verdict::Failed {
+                                kind: job.kind.clone(),
+                                slots: job.slots.clone(),
+                            };
+                        }
+                        job.slots[0].fill(Ok(JobOutput::Vectors(ys)));
+                        Verdict::Done
+                    }
+                    Err(e) => {
                         job.slots[0].fill(Err(e.into()));
+                        Verdict::Done
+                    }
+                },
+            },
+            JobKind::SolveInv { handle, b } => match route(*handle) {
+                Route::Fail(e) => {
+                    job.slots[0].fill(Err(e));
+                    Verdict::Done
+                }
+                Route::Digital(m) => {
+                    job.slots[0].fill(Self::digital_solve(&m, b).map(JobOutput::Vector));
+                    self.degraded.fetch_add(1, Ordering::SeqCst);
+                    Verdict::Done
+                }
+                Route::Requeue(to) => {
+                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
+                }
+                Route::Run(id) => match group.solve_inv(id, b) {
+                    Ok(x) => {
+                        if !self.solve_residuals_ok(
+                            group,
+                            id,
+                            std::slice::from_ref(b),
+                            std::slice::from_ref(&x),
+                        ) {
+                            return Verdict::Failed {
+                                kind: job.kind.clone(),
+                                slots: job.slots.clone(),
+                            };
+                        }
+                        job.slots[0].fill(Ok(JobOutput::Vector(x)));
+                        Verdict::Done
+                    }
+                    Err(e) => {
+                        job.slots[0].fill(Err(e.into()));
+                        Verdict::Done
+                    }
+                },
+            },
+            JobKind::SolveInvBatch { handle, bs } => match route(*handle) {
+                Route::Fail(e) => {
+                    job.slots[0].fill(Err(e));
+                    Verdict::Done
+                }
+                Route::Digital(m) => {
+                    let xs: Result<Vec<_>, _> =
+                        bs.iter().map(|b| Self::digital_solve(&m, b)).collect();
+                    job.slots[0].fill(xs.map(JobOutput::Vectors));
+                    self.degraded.fetch_add(1, Ordering::SeqCst);
+                    Verdict::Done
+                }
+                Route::Requeue(to) => {
+                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
+                }
+                Route::Run(id) => match group.solve_inv_batch(id, bs) {
+                    Ok(xs) => {
+                        if !self.solve_residuals_ok(group, id, bs, &xs) {
+                            return Verdict::Failed {
+                                kind: job.kind.clone(),
+                                slots: job.slots.clone(),
+                            };
+                        }
+                        job.slots[0].fill(Ok(JobOutput::Vectors(xs)));
+                        Verdict::Done
+                    }
+                    Err(e) => {
+                        job.slots[0].fill(Err(e.into()));
+                        Verdict::Done
+                    }
+                },
+            },
+            JobKind::Load { handle, matrix, mapping } => {
+                self.run_load(group, job, *handle, matrix, *mapping)
+            }
+            JobKind::Free { handle } => {
+                let target =
+                    self.registry.lock().expect("registry lock").retire_on(*handle, job.shard);
+                match target {
+                    Ok(FreeTarget::Local(Some(id))) => {
+                        let result = group.free_operator(id).map_err(RuntimeError::from);
+                        job.slots[0].fill(result.map(|()| JobOutput::Freed));
+                        Verdict::Done
+                    }
+                    Ok(FreeTarget::Local(None)) => {
+                        job.slots[0].fill(Ok(JobOutput::Freed));
+                        Verdict::Done
+                    }
+                    Ok(FreeTarget::Moved(to)) => {
+                        Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
+                    }
+                    Err(e) => {
+                        job.slots[0].fill(Err(e));
+                        Verdict::Done
                     }
                 }
             }
-            JobKind::Free { handle } => {
-                let result = self
-                    .registry
-                    .lock()
-                    .expect("registry lock")
-                    .retire(*handle)
-                    .and_then(|id| group.free_operator(id).map_err(RuntimeError::from));
-                job.slots[0].fill(result.map(|()| JobOutput::Freed));
+        }
+    }
+
+    /// The `Load` arm: places the matrix on the job's shard, enforcing the
+    /// health policy's write-verify threshold with bounded reprogram
+    /// retries; a quarantined shard fulfils the load on the digital
+    /// fallback path instead.
+    fn run_load(
+        &self,
+        group: &mut MacroGroup,
+        job: &Job,
+        handle: OperatorHandle,
+        matrix: &Matrix,
+        mapping: TileMapping,
+    ) -> Verdict {
+        if self.registry.lock().expect("registry lock").is_quarantined(job.shard) {
+            self.registry.lock().expect("registry lock").fulfill_digital(handle);
+            self.degraded.fetch_add(1, Ordering::SeqCst);
+            self.push_event(HealthEvent::OperatorDegraded { op: handle, shard: job.shard });
+            job.slots[0].fill(Ok(JobOutput::Loaded(handle)));
+            return Verdict::Done;
+        }
+        let mut attempt = 0;
+        loop {
+            let loaded = match mapping {
+                TileMapping::FourBit => group.load_matrix(matrix),
+                TileMapping::BitSlicedInt8 => group.load_matrix_bitsliced(matrix),
+            };
+            match loaded {
+                Ok(id) => {
+                    let program = group.operator_info(id).expect("just loaded").program;
+                    if program.failure_frac() <= self.health_cfg.max_load_failure_frac {
+                        self.registry.lock().expect("registry lock").fulfill(handle, id);
+                        job.slots[0].fill(Ok(JobOutput::Loaded(handle)));
+                        return Verdict::Done;
+                    }
+                    // Over threshold: release the botched planes and either
+                    // reprogram (fresh pulse noise) or give up with a typed
+                    // error, flagging the shard to the health monitor.
+                    group.free_operator(id).expect("freeing the operator just loaded");
+                    attempt += 1;
+                    if attempt > self.health_cfg.max_retries {
+                        self.registry.lock().expect("registry lock").abandon(handle);
+                        self.push_event(HealthEvent::LoadFailedVerify {
+                            shard: job.shard,
+                            failed_cells: program.failures,
+                            total_cells: program.cells,
+                        });
+                        job.slots[0].fill(Err(RuntimeError::ProgramVerifyFailed {
+                            failed_cells: program.failures,
+                            total_cells: program.cells,
+                        }));
+                        return Verdict::ShardSuspect;
+                    }
+                }
+                Err(e) => {
+                    self.registry.lock().expect("registry lock").abandon(handle);
+                    job.slots[0].fill(Err(e.into()));
+                    return Verdict::Done;
+                }
             }
         }
     }
+
+    // ── health monitoring and recovery ────────────────────────────────
+
+    /// Whether every result of an MVM dispatch sits within the residual
+    /// tolerance of the operator's quantized target (always true with
+    /// checks disabled).
+    fn mvm_residuals_ok(
+        &self,
+        group: &MacroGroup,
+        id: gramc_core::OperatorId,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+    ) -> bool {
+        let Some(tol) = self.health_cfg.residual_tolerance else {
+            return true;
+        };
+        let Ok(info) = group.operator_info(id) else {
+            return true;
+        };
+        xs.iter().zip(ys).all(|(x, y)| {
+            let y_ref = info.quantized.matvec(x);
+            vector::rel_error(y, &y_ref) <= tol
+        })
+    }
+
+    /// Whether every solve satisfies `‖A·x − b‖/‖b‖ ≤ tol` against the
+    /// quantized operator (always true with checks disabled).
+    fn solve_residuals_ok(
+        &self,
+        group: &MacroGroup,
+        id: gramc_core::OperatorId,
+        bs: &[Vec<f64>],
+        xs: &[Vec<f64>],
+    ) -> bool {
+        let Some(tol) = self.health_cfg.residual_tolerance else {
+            return true;
+        };
+        let Ok(info) = group.operator_info(id) else {
+            return true;
+        };
+        bs.iter().zip(xs).all(|(b, x)| {
+            let ax = info.quantized.matvec(x);
+            vector::rel_error(&ax, b) <= tol
+        })
+    }
+
+    /// Digital-reference solve on the registry's kept matrix.
+    fn digital_solve(matrix: &Matrix, b: &[f64]) -> Result<Vec<f64>, RuntimeError> {
+        lu::solve(matrix, b).map_err(|e| RuntimeError::from(CoreError::from(e)))
+    }
+
+    fn push_event(&self, event: HealthEvent) {
+        self.events.lock().expect("events lock").push(event);
+    }
+
+    /// Records one failed check against `shard` and quarantines it (with
+    /// migration) once the failure count crosses the policy threshold.
+    /// Must not be called while holding any shard's group lock.
+    fn note_failure(&self, shard: usize) {
+        let failures = self.health[shard].failures.fetch_add(1, Ordering::SeqCst) + 1;
+        self.failed_checks.fetch_add(1, Ordering::SeqCst);
+        if failures >= self.health_cfg.quarantine_after {
+            self.heal_shard(shard, failures);
+        }
+    }
+
+    /// Recovery for a job whose result failed its residual check: count
+    /// the failure (possibly quarantining the shard), then re-dispatch the
+    /// job to its operator's current home — or, out of retries, answer it
+    /// from the digital reference path. Called outside all group locks.
+    fn handle_failure(&self, shard: usize, retries: u32, kind: JobKind, slots: Vec<Arc<Slot>>) {
+        self.note_failure(shard);
+        let Some(op) = kind.operator() else {
+            unreachable!("only compute jobs fail residual checks");
+        };
+        if retries < self.health_cfg.max_retries {
+            match self.registry.lock().expect("registry lock").exec_target(op) {
+                Ok(ExecTarget::Analog { shard: home, .. }) => {
+                    self.enqueue_job(home, kind, slots, retries + 1);
+                    return;
+                }
+                Ok(ExecTarget::Digital(_)) => {} // fall through to digital
+                Err(e) => {
+                    for slot in &slots {
+                        slot.fill(Err(e.clone()));
+                    }
+                    return;
+                }
+            }
+        }
+        // Out of retries (or the operator was degraded meanwhile): answer
+        // digitally from the registry's matrix so the caller still gets a
+        // result, and record the degradation.
+        let matrix = match self.registry.lock().expect("registry lock").matrix_and_mapping(op) {
+            Ok((m, _)) => m,
+            Err(e) => {
+                for slot in &slots {
+                    slot.fill(Err(e.clone()));
+                }
+                return;
+            }
+        };
+        self.degraded.fetch_add(1, Ordering::SeqCst);
+        self.push_event(HealthEvent::OperatorDegraded { op, shard });
+        match kind {
+            JobKind::MvmSet { xs, .. } => {
+                for (slot, x) in slots.iter().zip(&xs) {
+                    slot.fill(Ok(JobOutput::Vector(matrix.matvec(x))));
+                }
+            }
+            JobKind::MvmBatch { xs, .. } => {
+                let ys = xs.iter().map(|x| matrix.matvec(x)).collect();
+                slots[0].fill(Ok(JobOutput::Vectors(ys)));
+            }
+            JobKind::SolveInv { b, .. } => {
+                slots[0].fill(Self::digital_solve(&matrix, &b).map(JobOutput::Vector));
+            }
+            JobKind::SolveInvBatch { bs, .. } => {
+                let xs: Result<Vec<_>, _> =
+                    bs.iter().map(|b| Self::digital_solve(&matrix, b)).collect();
+                slots[0].fill(xs.map(JobOutput::Vectors));
+            }
+            JobKind::MvmMany { .. } | JobKind::Load { .. } | JobKind::Free { .. } => {
+                unreachable!("these kinds never carry a Failed verdict")
+            }
+        }
+    }
+
+    /// Quarantines `sick` and migrates its analog operators to healthy
+    /// shards (re-programming each matrix through the normal load path);
+    /// with no healthy shard left, operators degrade to the digital
+    /// fallback. Guarded so exactly one thread heals a given shard, and
+    /// never called while holding a group lock — it locks one group at a
+    /// time (target, then sick), with the registry only as a leaf.
+    fn heal_shard(&self, sick: usize, failures: u32) {
+        if self.health[sick].healing.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let ops = {
+            let mut reg = self.registry.lock().expect("registry lock");
+            if !reg.quarantine(sick) {
+                return;
+            }
+            reg.analog_ops_on(sick)
+        };
+        self.push_event(HealthEvent::ShardQuarantined { shard: sick, failures });
+        for (op, old_id) in ops {
+            let Ok((matrix, mapping)) =
+                self.registry.lock().expect("registry lock").matrix_and_mapping(op)
+            else {
+                continue;
+            };
+            let target = self.registry.lock().expect("registry lock").migration_target();
+            let migrated = target.and_then(|to| {
+                let mut group = self.shards[to].group.lock().expect("shard lock");
+                let loaded = match mapping {
+                    TileMapping::FourBit => group.load_matrix(&matrix),
+                    TileMapping::BitSlicedInt8 => group.load_matrix_bitsliced(&matrix),
+                };
+                loaded.ok().map(|new_id| (to, new_id))
+            });
+            match migrated {
+                Some((to, new_id)) => {
+                    self.registry.lock().expect("registry lock").relocate(op, to, new_id);
+                    self.push_event(HealthEvent::OperatorMigrated { op, from: sick, to });
+                }
+                None => {
+                    self.registry.lock().expect("registry lock").demote_to_digital(op);
+                    self.degraded.fetch_add(1, Ordering::SeqCst);
+                    self.push_event(HealthEvent::OperatorDegraded { op, shard: sick });
+                }
+            }
+            // Either way the sick shard's planes are released — harmless
+            // if the shard is truly broken, and it keeps the group's
+            // capacity bookkeeping exact.
+            let mut group = self.shards[sick].group.lock().expect("shard lock");
+            let _ = group.free_operator(old_id);
+        }
+    }
+
+    // ── health introspection and probing ──────────────────────────────
+
+    /// Shards currently quarantined.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.registry.lock().expect("registry lock").quarantined_shards()
+    }
+
+    /// Failed health checks recorded against `shard` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_failures(&self, shard: usize) -> u32 {
+        self.health[shard].failures.load(Ordering::SeqCst)
+    }
+
+    /// Health-probes every analog operator on `shard`: reads its planes
+    /// back through [`MacroGroup::health_probe`] and feeds the per-shard
+    /// failure counters — a probe whose residual exceeds
+    /// [`HealthConfig::probe_residual_tolerance`] counts as a failed
+    /// check and can quarantine the shard (triggering migration) just
+    /// like a failed job would.
+    ///
+    /// Call between drains, not while holding a shard group guard.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadShard`] if out of range; probe errors from the
+    /// group.
+    pub fn probe_shard(
+        &self,
+        shard: usize,
+    ) -> Result<Vec<(OperatorHandle, ProbeReport)>, RuntimeError> {
+        if shard >= self.shards.len() {
+            return Err(RuntimeError::BadShard { shard, shards: self.shards.len() });
+        }
+        let ops = self.registry.lock().expect("registry lock").analog_ops_on(shard);
+        let mut reports = Vec::with_capacity(ops.len());
+        {
+            let group = self.shards[shard].group.lock().expect("shard lock");
+            for (op, id) in ops {
+                reports.push((op, group.health_probe(id, 0.5)?));
+            }
+        }
+        for (_, report) in &reports {
+            if report.residual > self.health_cfg.probe_residual_tolerance {
+                self.note_failure(shard);
+            } else {
+                self.health[shard].successes.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        Ok(reports)
+    }
+
+    /// [`probe_shard`](Self::probe_shard) across every shard; returns the
+    /// probe reports flattened in shard order.
+    ///
+    /// # Errors
+    ///
+    /// First probe error encountered.
+    pub fn probe_all(&self) -> Result<Vec<(OperatorHandle, ProbeReport)>, RuntimeError> {
+        let mut all = Vec::new();
+        for shard in 0..self.shards.len() {
+            all.extend(self.probe_shard(shard)?);
+        }
+        Ok(all)
+    }
+}
+
+/// Fault-injection controls (the `fault-inject` feature): deterministic
+/// device-fault campaigns against individual shards, driving the recovery
+/// machinery in tests, benches and the serving example.
+#[cfg(feature = "fault-inject")]
+impl Runtime {
+    /// Samples and installs a seeded fault plan on every macro of `shard`
+    /// (see [`MacroGroup::inject_faults`]). An all-zero `config` leaves the
+    /// shard's behavior bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadShard`] if out of range.
+    pub fn inject_shard_faults(
+        &self,
+        shard: usize,
+        config: &FaultConfig,
+        seed: u64,
+    ) -> Result<(), RuntimeError> {
+        self.shard_group(shard)?.inject_faults(config, seed);
+        Ok(())
+    }
+
+    /// Advances `shard`'s fault clock by `dt` seconds (conductance drift).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadShard`] if out of range.
+    pub fn advance_shard_fault_time(&self, shard: usize, dt: f64) -> Result<(), RuntimeError> {
+        self.shard_group(shard)?.advance_fault_time(dt);
+        Ok(())
+    }
+
+    /// Clears all fault plans on `shard`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadShard`] if out of range.
+    pub fn clear_shard_faults(&self, shard: usize) -> Result<(), RuntimeError> {
+        self.shard_group(shard)?.clear_faults();
+        Ok(())
+    }
+}
+
+/// Where one compute job actually runs, resolved against the registry at
+/// execution time (operators move under recovery).
+#[derive(Debug)]
+enum Route {
+    /// The handle is dead or was abandoned — fail the waiters.
+    Fail(RuntimeError),
+    /// The operator lives on the digital fallback path.
+    Digital(Arc<Matrix>),
+    /// The operator is analog but not runnable here (homed elsewhere, or
+    /// its shard is mid-migration) — requeue toward its current home.
+    Requeue(usize),
+    /// Runnable on this worker's group under this id.
+    Run(gramc_core::OperatorId),
+}
+
+/// What the recovery path must do after a job body ran (decided inside the
+/// group lock, acted on outside it).
+#[derive(Debug)]
+enum Verdict {
+    /// Slots filled; nothing to do.
+    Done,
+    /// The operator lives elsewhere now — re-enqueue the job there with
+    /// the same retry count.
+    Requeue { to: usize, kind: JobKind, slots: Vec<Arc<Slot>> },
+    /// The result failed its residual check — slots are unfilled; retry or
+    /// degrade per policy.
+    Failed { kind: JobKind, slots: Vec<Arc<Slot>> },
+    /// Slots filled (with a typed error), but the shard should be flagged
+    /// to the health monitor (a load that could not verify).
+    ShardSuspect,
 }

@@ -231,6 +231,61 @@ fn sharded_tiled_operator_accumulates_across_shards() {
     assert!(tiled.free(&rt).is_err());
 }
 
+/// `wait_timeout` bounds the wait on a job nobody drains: it must return
+/// [`RuntimeError::WaitTimeout`] instead of blocking forever, and still
+/// deliver the result once the job actually retires.
+#[test]
+fn wait_timeout_bounds_undrained_jobs() {
+    use std::time::Duration;
+
+    let rt = Runtime::new(2, 2, MacroConfig::small_ideal(4), 13);
+    let a = Matrix::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.1 });
+    let op = rt.load(&a, TileMapping::FourBit, Placement::Pinned(0)).unwrap();
+
+    // Submitted but never drained: the bounded wait gives up.
+    let h = rt.submit_mvm(op, vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+    assert!(matches!(h.wait_timeout(Duration::from_millis(20)), Err(RuntimeError::WaitTimeout)));
+    // A zero timeout on a pending job expires immediately.
+    assert!(matches!(h.wait_timeout(Duration::ZERO), Err(RuntimeError::WaitTimeout)));
+
+    // Once drained, the same handle serves the result through the bounded
+    // wait as well.
+    rt.run_all();
+    let y = match h.wait_timeout(Duration::from_secs(5)).unwrap() {
+        gramc_runtime::JobOutput::Vector(y) => y,
+        other => panic!("expected a vector, got {other:?}"),
+    };
+    assert_eq!(y.len(), 4);
+}
+
+/// Non-finite inputs are rejected at submit time on every compute path,
+/// mirroring the shape check: one poisoned request must not reach an
+/// analog dispatch or take down a coalesced batch.
+#[test]
+fn non_finite_inputs_are_rejected_at_submission() {
+    let rt = Runtime::new(2, 2, MacroConfig::small_ideal(4), 14);
+    let a = Matrix::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.1 });
+    let op = rt.load(&a, TileMapping::FourBit, Placement::Pinned(0)).unwrap();
+
+    let nan = vec![1.0, f64::NAN, 0.0, 0.0];
+    let inf = vec![f64::INFINITY, 0.0, 0.0, 0.0];
+    assert!(matches!(rt.submit_mvm(op, nan.clone()), Err(RuntimeError::NonFiniteInput)));
+    assert!(matches!(
+        rt.submit_mvm_batch(op, vec![vec![1.0; 4], inf.clone()]),
+        Err(RuntimeError::NonFiniteInput)
+    ));
+    assert!(matches!(rt.submit_solve_inv(op, nan.clone()), Err(RuntimeError::NonFiniteInput)));
+    assert!(matches!(rt.submit_solve_inv_batch(op, vec![inf]), Err(RuntimeError::NonFiniteInput)));
+
+    // A good request submitted alongside the rejected ones still serves.
+    let good = rt.submit_mvm(op, vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+    let summary = rt.run_all();
+    assert_eq!(good.wait_vector().unwrap().len(), 4);
+    assert_eq!(summary.failed_checks, 0);
+    assert_eq!(summary.degraded, 0);
+    assert!(summary.events.is_empty());
+}
+
 /// A load that exceeds shard capacity fails cleanly and rolls back the
 /// tiles already placed.
 #[test]
