@@ -9,18 +9,20 @@
 //!
 //! ```sh
 //! cargo run -p gramc-bench --release --bin bench_kernels [-- output.json]
-//! # fault sweep only (CI smoke mode):
+//! # CI smoke mode: fault sweep + perf regression gate against a baseline
+//! # (exits non-zero if a gated kernel regresses >20%, machine-normalized):
 //! cargo run -p gramc-bench --release --features fault-inject \
-//!     --bin bench_kernels -- --smoke smoke.json
+//!     --bin bench_kernels -- --smoke --baseline BENCH_kernels.json smoke.json
 //! ```
 
 use gramc_array::{ActiveRegion, ArrayConfig, CrossbarArray};
 use gramc_bench::timing::{to_json, Reporter, Sample};
 use gramc_circuit::{dc_solve, topology, DcOperator, OpampModel};
 use gramc_core::tiling::TileMapping;
-use gramc_core::{MacroConfig, MacroGroup};
+use gramc_core::{MacroConfig, MacroGroup, NonidealityConfig};
 use gramc_device::LevelQuantizer;
 use gramc_linalg::{random, LuDecomposition, Matrix};
+use gramc_nn::{GramcLenet, LeNet5, Precision, Tensor3};
 use gramc_runtime::{Placement, Runtime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,13 +32,16 @@ use rand::SeedableRng;
 /// record (a) the end-to-end relative error of the answers the caller
 /// actually received — recovery on, so quarantine/migration/digital
 /// fallback are all in play — and (b) the wall-clock latency of the drain
-/// that absorbs the faults, as one-shot samples (`iters: 1`; recovery is
-/// not repeatable in place).
+/// that absorbs the faults. Recovery is not repeatable in place, so each
+/// iteration rebuilds the runtime from scratch and only the drain itself
+/// is timed; the per-rate sample averages `DRAIN_ITERS` such drains.
 #[cfg(feature = "fault-inject")]
 fn fault_sweep(samples: &mut Vec<Sample>, meta: &mut Vec<(String, String)>) {
     use gramc_linalg::vector;
     use gramc_runtime::{FaultConfig, HealthConfig};
     use std::time::Instant;
+
+    const DRAIN_ITERS: usize = 3;
 
     let health = HealthConfig {
         residual_tolerance: Some(0.2),
@@ -50,55 +55,119 @@ fn fault_sweep(samples: &mut Vec<Sample>, meta: &mut Vec<(String, String)>) {
 
     println!();
     for rate in [0.0, 0.02, 0.05, 0.10] {
-        let rt =
-            Runtime::new(2, 4, MacroConfig::small_ideal(64), 9).with_health_config(health.clone());
-        let op = rt.load(&a, TileMapping::FourBit, Placement::Pinned(0)).unwrap();
-        rt.inject_shard_faults(0, &FaultConfig::stuck_at(rate), 31).unwrap();
+        let mut total = 0.0;
+        let mut min = f64::INFINITY;
+        let mut served_err = 0.0;
+        let mut failed_checks = 0;
+        let mut recovered = false;
+        for _ in 0..DRAIN_ITERS {
+            // Fresh runtime per iteration: same seeds, same fault plan,
+            // same recovery work each time.
+            let rt = Runtime::new(2, 4, MacroConfig::small_ideal(64), 9)
+                .with_health_config(health.clone());
+            let op = rt.load(&a, TileMapping::FourBit, Placement::Pinned(0)).unwrap();
+            rt.inject_shard_faults(0, &FaultConfig::stuck_at(rate), 31).unwrap();
 
-        let t = Instant::now();
-        let handles: Vec<_> =
-            reqs.iter().map(|x| rt.submit_mvm_batch(op, vec![x.clone()]).unwrap()).collect();
-        let summary = rt.run_all();
-        let ys: Vec<Vec<f64>> =
-            handles.iter().map(|h| h.wait_vectors().unwrap().remove(0)).collect();
-        let elapsed = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let handles: Vec<_> =
+                reqs.iter().map(|x| rt.submit_mvm_batch(op, vec![x.clone()]).unwrap()).collect();
+            let summary = rt.run_all();
+            let ys: Vec<Vec<f64>> =
+                handles.iter().map(|h| h.wait_vectors().unwrap().remove(0)).collect();
+            let elapsed = t.elapsed().as_secs_f64();
+            total += elapsed;
+            min = min.min(elapsed);
 
-        let served_err =
-            reqs.iter().zip(&ys).map(|(x, y)| vector::rel_error(y, &a.matvec(x))).sum::<f64>()
-                / reqs.len() as f64;
-        let recovered = !summary.events.is_empty();
+            served_err =
+                reqs.iter().zip(&ys).map(|(x, y)| vector::rel_error(y, &a.matvec(x))).sum::<f64>()
+                    / reqs.len() as f64;
+            failed_checks = summary.failed_checks;
+            recovered = !summary.events.is_empty();
+        }
+        let mean = total / DRAIN_ITERS as f64;
         println!(
             "fault sweep rate {rate:.2}: served rel error {served_err:.4}, \
-             {:.3} ms drain, {} failed checks, {} degraded, recovered: {recovered}",
-            elapsed * 1e3,
-            summary.failed_checks,
-            summary.degraded,
+             {:.3} ms mean drain over {DRAIN_ITERS} runs, {failed_checks} failed checks, \
+             recovered: {recovered}",
+            mean * 1e3,
         );
         let tag = format!("{:02}", (rate * 100.0).round() as u32);
         samples.push(Sample {
             name: format!("fault_recovery_drain_64x2shards_rate_{tag}"),
-            iters: 1,
-            mean_ns: elapsed * 1e9,
-            min_ns: elapsed * 1e9,
+            iters: DRAIN_ITERS as u64,
+            mean_ns: mean * 1e9,
+            min_ns: min * 1e9,
         });
         meta.push((format!("fault_sweep_rel_error_rate_{tag}"), format!("{served_err:.6}")));
-        meta.push((
-            format!("fault_sweep_failed_checks_rate_{tag}"),
-            summary.failed_checks.to_string(),
-        ));
+        meta.push((format!("fault_sweep_failed_checks_rate_{tag}"), failed_checks.to_string()));
     }
+}
+
+/// Smoke-mode perf regression gate: re-times the ladder's two headline
+/// kernels and compares **machine-normalized** means against the checked-in
+/// baseline. Normalizing each kernel by this machine's naive-matmul time
+/// cancels out how fast the host is, so the 20% budget measures algorithmic
+/// regressions rather than runner lottery. Returns the names that
+/// regressed.
+fn perf_regression_check(
+    baseline_json: &str,
+    samples: &mut Vec<Sample>,
+    meta: &mut Vec<(String, String)>,
+) -> Vec<String> {
+    const BUDGET: f64 = 1.20;
+    let mut r = Reporter::new();
+    let mut rng = random::seeded_rng(1);
+    let a = random::gaussian_matrix(&mut rng, 512, 512);
+    let b = random::gaussian_matrix(&mut rng, 512, 512);
+    r.bench("matmul_naive_512", || a.matmul_reference(&b));
+    r.bench("matmul_512", || a.matmul(&b));
+    let spd = random::spd_with_condition(&mut rng, 128, 10.0);
+    let lu = LuDecomposition::new(&spd).unwrap();
+    let rhs = random::gaussian_matrix(&mut rng, 128, 64);
+    r.bench("lu_solve_matrix_128x64", || lu.solve_matrix(&rhs).unwrap());
+
+    let base_yardstick = gramc_bench::timing::read_mean_ms(baseline_json, "matmul_naive_512");
+    let cur_yardstick = r.mean_ms("matmul_naive_512");
+    let mut regressed = Vec::new();
+    for kernel in ["matmul_512", "lu_solve_matrix_128x64"] {
+        let base = base_yardstick
+            .zip(gramc_bench::timing::read_mean_ms(baseline_json, kernel))
+            .map(|(y, k)| k / y);
+        let Some(base_norm) = base else {
+            println!("perf gate: no baseline entry for {kernel}, skipping");
+            continue;
+        };
+        let cur_norm = r.mean_ms(kernel) / cur_yardstick;
+        let ratio = cur_norm / base_norm;
+        println!(
+            "perf gate: {kernel} normalized {cur_norm:.5} vs baseline {base_norm:.5} \
+             ({ratio:.2}x, budget {BUDGET:.2}x)"
+        );
+        meta.push((format!("perf_gate_{kernel}_vs_baseline"), format!("{ratio:.3}")));
+        if ratio > BUDGET {
+            regressed.push(kernel.to_string());
+        }
+    }
+    samples.extend(r.samples().iter().cloned());
+    regressed
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let mut smoke = false;
+    let mut baseline_path: Option<String> = None;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--baseline" => baseline_path = it.next().cloned(),
+            other => out_path = other.to_string(),
+        }
+    }
 
-    // Smoke mode: only the (feature-gated) fault sweep, for CI.
+    // Smoke mode, for CI: the (feature-gated) fault sweep plus — when a
+    // baseline is supplied — the machine-normalized perf regression gate.
     if smoke {
         #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
         let mut samples = Vec::new();
@@ -106,12 +175,23 @@ fn main() {
         #[cfg(feature = "fault-inject")]
         fault_sweep(&mut samples, &mut extra_meta);
         #[cfg(not(feature = "fault-inject"))]
-        println!("smoke mode: built without the fault-inject feature, nothing to run");
+        println!("smoke mode: built without the fault-inject feature, skipping fault sweep");
+        let regressed = match &baseline_path {
+            Some(p) => {
+                let baseline = std::fs::read_to_string(p).expect("read baseline json");
+                perf_regression_check(&baseline, &mut samples, &mut extra_meta)
+            }
+            None => Vec::new(),
+        };
         extra_meta.insert(0, ("bench".to_string(), "bench_kernels_smoke".to_string()));
         let meta: Vec<(&str, String)> =
             extra_meta.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
         std::fs::write(&out_path, to_json(&meta, &samples)).expect("write benchmark json");
         println!("wrote {out_path}");
+        if !regressed.is_empty() {
+            eprintln!("perf gate FAILED: {} regressed >20% vs baseline", regressed.join(", "));
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -125,6 +205,11 @@ fn main() {
         let b = random::gaussian_matrix(&mut rng, n, n);
         r.bench(&format!("matmul_naive_{n}"), || a.matmul_reference(&b));
         r.bench(&format!("matmul_{n}"), || a.matmul(&b));
+        if n == 512 {
+            // The blocked-but-unpacked kernel the packed micro-kernel
+            // replaced: the "previous rung" for the speedup meta below.
+            r.bench("matmul_unpacked_512", || a.matmul_unpacked(&b));
+        }
     }
 
     // ── multi-RHS LU: per-column solve loop vs in-place solve_matrix.
@@ -142,6 +227,12 @@ fn main() {
         x
     });
     r.bench("lu_solve_matrix_128x64", || lu.solve_matrix(&rhs).unwrap());
+
+    // ── LU factorization at 512: the serial right-looking baseline vs the
+    //    blocked factorization whose trailing updates fan out over threads.
+    let spd512 = random::spd_with_condition(&mut rng, 512, 10.0);
+    r.bench("lu_factor_serial_512", || LuDecomposition::new_unblocked(&spd512).unwrap());
+    r.bench("lu_factor_512", || LuDecomposition::new(&spd512).unwrap());
 
     // ── crossbar MVM at 128×128: per-call reconstruction (the pre-cache
     //    path every read used to pay) vs the cached snapshot, and the
@@ -177,6 +268,39 @@ fn main() {
         xs.iter().map(|x| group.mvm(op, x).unwrap()).collect::<Vec<_>>()
     });
     r.bench("macro_mvm_batch_32x64", || group.mvm_batch(op, &xs).unwrap());
+
+    // ── per-plane parallelism: a bit-sliced INT8 operator (4 planes)
+    //    driven through the row-batched MVM with the plane fan-out capped
+    //    to one thread (the pre-parallel rung) vs uncapped.
+    let cfg_bits =
+        MacroConfig { nonideal: NonidealityConfig::quantization_only(4), ..MacroConfig::small(64) };
+    let mut group_bits = MacroGroup::new(4, cfg_bits, 17);
+    let op_bits = group_bits.load_matrix_bitsliced(&a64).unwrap();
+    let xmat = Matrix::from_fn(32, 64, |b, j| ((b * 64 + j) as f64 * 0.11).sin() * 0.2);
+    r.bench("macro_planes_serial_32x64", || {
+        gramc_linalg::parallel::with_thread_cap(1, || {
+            group_bits.mvm_batch_rows(op_bits, &xmat).unwrap()
+        })
+    });
+    r.bench("macro_planes_parallel_32x64", || group_bits.mvm_batch_rows(op_bits, &xmat).unwrap());
+
+    // ── LeNet-5 inference: per-image drive assembly vs the fused
+    //    streaming path that im2cols the whole batch into reused scratch.
+    let model = LeNet5::new(&mut random::seeded_rng(7));
+    let lenet_cfg =
+        MacroConfig { nonideal: NonidealityConfig::quantization_only(4), ..MacroConfig::default() };
+    let mut lenet = GramcLenet::new(model, Precision::Int4, lenet_cfg, 16, 11).unwrap();
+    let mut img_rng = random::seeded_rng(13);
+    let images: Vec<Tensor3> = (0..16)
+        .map(|_| {
+            let data = (0..28 * 28)
+                .map(|_| random::standard_normal(&mut img_rng).abs().min(1.0))
+                .collect();
+            Tensor3::from_vec(1, 28, 28, data)
+        })
+        .collect();
+    r.bench("lenet_per_image_16", || lenet.logits_batch(&images).unwrap());
+    r.bench("lenet_stream_16", || lenet.logits_matrix(&images).unwrap());
 
     // ── sharded runtime: 64 MVM requests spread over one operator per
     //    shard, coalesced into one analog dispatch per operator and
@@ -227,11 +351,22 @@ fn main() {
 
     // ── summary + JSON report.
     let matmul_speedup = r.mean_ms("matmul_naive_512") / r.mean_ms("matmul_512");
+    let packed_speedup = r.mean_ms("matmul_unpacked_512") / r.mean_ms("matmul_512");
+    let lu_factor_speedup = r.mean_ms("lu_factor_serial_512") / r.mean_ms("lu_factor_512");
+    let planes_speedup =
+        r.mean_ms("macro_planes_serial_32x64") / r.mean_ms("macro_planes_parallel_32x64");
+    let lenet_speedup = r.mean_ms("lenet_per_image_16") / r.mean_ms("lenet_stream_16");
     let batch_speedup = uncached_per_mvm / batched_per_mvm;
     let sharded_speedup_4v1 =
         r.mean_ms("runtime_sharded_mvm_1") / r.mean_ms("runtime_sharded_mvm_4");
     println!();
-    println!("matmul 512: blocked is {matmul_speedup:.1}x the naive baseline");
+    println!(
+        "matmul 512: packed kernel is {matmul_speedup:.1}x naive, \
+         {packed_speedup:.2}x the unpacked blocked kernel"
+    );
+    println!("lu factor 512: blocked is {lu_factor_speedup:.2}x the serial right-looking rung");
+    println!("macro planes: parallel fan-out is {planes_speedup:.2}x the serial rung");
+    println!("lenet 16 images: streaming is {lenet_speedup:.2}x the per-image rung");
     println!(
         "batched MVM 128: {batch_speedup:.1}x the per-call reconstruction path \
          ({uncached_per_mvm:.3} ms -> {batched_per_mvm:.4} ms per MVM)"
@@ -254,9 +389,14 @@ fn main() {
         ("dim_matmul", "512".to_string()),
         ("dim_array", "128".to_string()),
         ("threads", gramc_linalg::parallel::max_threads().to_string()),
+        ("host_cpus", std::thread::available_parallelism().map_or(1, |n| n.get()).to_string()),
         ("parallel_feature", gramc_linalg::parallel::feature_enabled().to_string()),
         ("fault_inject_feature", cfg!(feature = "fault-inject").to_string()),
         ("matmul_512_speedup_vs_naive", format!("{matmul_speedup:.3}")),
+        ("matmul_512_speedup_vs_unpacked", format!("{packed_speedup:.3}")),
+        ("lu_factor_512_speedup_vs_serial", format!("{lu_factor_speedup:.3}")),
+        ("macro_planes_speedup_vs_serial", format!("{planes_speedup:.3}")),
+        ("lenet_stream_speedup_vs_per_image", format!("{lenet_speedup:.3}")),
         ("batched_mvm_128_speedup_vs_uncached", format!("{batch_speedup:.3}")),
         ("runtime_sharded_mvm_speedup_4_shards_vs_1", format!("{sharded_speedup_4v1:.3}")),
     ];

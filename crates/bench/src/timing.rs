@@ -146,6 +146,19 @@ pub fn to_json(meta: &[(&str, String)], samples: &[Sample]) -> String {
     out
 }
 
+/// Reads one kernel's `mean_ms` back out of a [`to_json`]-shaped document.
+///
+/// Hand-rolled for the same offline reason as the writer; tolerant of
+/// surrounding whitespace and key order. Returns `None` when the kernel is
+/// absent or the number is malformed — callers treat that as "no baseline".
+pub fn read_mean_ms(json: &str, kernel: &str) -> Option<f64> {
+    let key = format!("\"{kernel}\":");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let rest = &rest[rest.find("\"mean_ms\":")? + "\"mean_ms\":".len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +181,19 @@ mod tests {
         assert!(j.contains("\"mean_ms\": 1.500000"));
         // Balanced braces.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn read_mean_ms_round_trips_through_to_json() {
+        let samples = vec![
+            Sample { name: "matmul_512".into(), iters: 10, mean_ns: 37.5e6, min_ns: 34.0e6 },
+            Sample { name: "lu".into(), iters: 3, mean_ns: 2.0e6, min_ns: 1.5e6 },
+        ];
+        let j = to_json(&[("bench", "x".into())], &samples);
+        assert_eq!(read_mean_ms(&j, "matmul_512"), Some(37.5));
+        assert_eq!(read_mean_ms(&j, "lu"), Some(2.0));
+        assert_eq!(read_mean_ms(&j, "absent"), None);
+        assert_eq!(read_mean_ms("not json", "matmul_512"), None);
     }
 
     #[test]

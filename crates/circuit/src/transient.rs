@@ -74,6 +74,11 @@ pub struct TransientResult {
     pub time: f64,
     /// Number of accepted steps.
     pub steps: usize,
+    /// Number of dense Jacobian factorizations performed. The modified
+    /// Newton iteration reuses one factorization across iterations and
+    /// steps while `(dt, tanh-slope)` are stable, so this is typically far
+    /// below the total Newton iteration count.
+    pub factorizations: usize,
     /// Recorded `(t, outputs)` samples if requested.
     pub trajectory: Vec<(f64, Vec<f64>)>,
 }
@@ -204,6 +209,7 @@ pub fn transient_solve(
             settled: true,
             time: 0.0,
             steps: 0,
+            factorizations: 0,
             trajectory: Vec::new(),
         });
     }
@@ -242,14 +248,36 @@ pub fn transient_solve(
     let mut dt = dt0;
     let max_steps = ((config.t_max / dt0).ceil() as usize).saturating_mul(8).max(16);
 
+    // Modified Newton: the backward-Euler Jacobian depends only on the step
+    // size and the tanh-slope diagonal, and during settling the slopes
+    // barely move between iterations *and* steps. Cache one factorization
+    // and reuse it while `(dt, slope)` stay within a relative drift bound —
+    // a 10% stale Jacobian still contracts the iteration comfortably, the
+    // convergence test is on the residual (so accepted states satisfy the
+    // same 1e-12 tolerance either way), and a stalled solve falls back to
+    // fresh factorizations before conceding the step size.
+    const SLOPE_REUSE_RTOL: f64 = 0.1;
+    struct FactorCache {
+        dt: f64,
+        slope: Vec<f64>,
+        lu: LuDecomposition,
+    }
+    let mut cache: Option<FactorCache> = None;
+    let mut factorizations = 0usize;
+    let mut jac = Matrix::zeros(nop, nop);
+    // One fresh-factorization retry per step attempt before conceding the
+    // step size (see the non-convergence handling below).
+    let mut fresh_retry = false;
+
     while t < config.t_max && steps < max_steps {
         if config.record_trajectory {
             trajectory.push((t, state.clone()));
         }
-        // Backward Euler: solve W = state + dt·f(W) by Newton.
+        // Backward Euler: solve W = state + dt·f(W) by (modified) Newton.
         let mut w = state.clone();
         let mut converged = false;
-        for _newton in 0..40 {
+        let mut reused_stale = false;
+        'newton: for _newton in 0..40 {
             let (f, slope) = eval(&w);
             // Residual R = W − state − dt·f(W).
             let mut r: Vec<f64> = (0..nop).map(|k| w[k] - state[k] - dt * f[k]).collect();
@@ -259,21 +287,41 @@ pub fn transient_solve(
                 converged = true;
                 break;
             }
-            // Jacobian: I − dt·diag(1/τ)(diag(slope·sech²-combined)·P − I).
-            let mut jac = Matrix::zeros(nop, nop);
-            for i in 0..nop {
-                for j in 0..nop {
-                    let dfij = slope[i] * map.p[(i, j)] / taus[i]
-                        - if i == j { 1.0 / taus[i] } else { 0.0 };
-                    jac[(i, j)] = if i == j { 1.0 } else { 0.0 } - dt * dfij;
+            let reusable = cache.as_ref().is_some_and(|c| {
+                c.dt == dt
+                    && c.slope
+                        .iter()
+                        .zip(&slope)
+                        .all(|(a, b)| (a - b).abs() <= SLOPE_REUSE_RTOL * a.abs().max(1.0))
+            });
+            if reusable {
+                reused_stale = true;
+            } else {
+                // Jacobian: I − dt·diag(1/τ)(diag(slope)·P − I), assembled
+                // into the preallocated buffer.
+                for i in 0..nop {
+                    for j in 0..nop {
+                        let dfij = slope[i] * map.p[(i, j)] / taus[i]
+                            - if i == j { 1.0 / taus[i] } else { 0.0 };
+                        jac[(i, j)] = if i == j { 1.0 } else { 0.0 } - dt * dfij;
+                    }
+                }
+                match LuDecomposition::new(&jac) {
+                    Ok(lu) => {
+                        factorizations += 1;
+                        cache = Some(FactorCache { dt, slope, lu });
+                    }
+                    Err(_) => {
+                        cache = None;
+                        break 'newton;
+                    }
                 }
             }
-            match LuDecomposition::new(&jac).and_then(|lu| {
-                for ri in r.iter_mut() {
-                    *ri = -*ri;
-                }
-                lu.solve(&r)
-            }) {
+            let lu = &cache.as_ref().expect("factorization cached above").lu;
+            for ri in r.iter_mut() {
+                *ri = -*ri;
+            }
+            match lu.solve(&r) {
                 Ok(delta) => {
                     for (wi, di) in w.iter_mut().zip(&delta) {
                         *wi += di;
@@ -283,13 +331,23 @@ pub fn transient_solve(
             }
         }
         if !converged {
+            if reused_stale && !fresh_retry {
+                // A stale Jacobian, not the step size, may be what stalled
+                // Newton: redo this step once with fresh factorizations
+                // before shrinking dt.
+                cache = None;
+                fresh_retry = true;
+                continue;
+            }
             // Halve the step; give up below a floor.
             dt *= 0.5;
+            fresh_retry = false;
             if dt < dt0 * 1e-4 {
                 return Err(CircuitError::NoSettle { simulated_time: t, residual: f64::NAN });
             }
             continue;
         }
+        fresh_retry = false;
         state = w;
         t += dt;
         steps += 1;
@@ -306,7 +364,15 @@ pub fn transient_solve(
     }
 
     let node_voltages = net.solve(&state)?;
-    Ok(TransientResult { outputs: state, node_voltages, settled, time: t, steps, trajectory })
+    Ok(TransientResult {
+        outputs: state,
+        node_voltages,
+        settled,
+        time: t,
+        steps,
+        factorizations,
+        trajectory,
+    })
 }
 
 #[cfg(test)]
@@ -412,6 +478,37 @@ mod tests {
         c.opamp(inp, Circuit::GROUND, out, OpampModel::with_gain(4.0));
         let tr = transient_solve(&c, &[1e-6], &TransientConfig::default()).unwrap();
         assert!(tr.outputs[0] > 1.0, "latched output {}", tr.outputs[0]);
+    }
+
+    #[test]
+    fn jacobian_factorizations_are_reused_across_steps() {
+        // A finely-stepped settling run spends almost every step with a
+        // near-constant tanh slope and a fixed dt, so the modified Newton
+        // must get by with far fewer factorizations than accepted steps —
+        // the old full-Newton path paid one per iteration (≥ steps).
+        let mut c = Circuit::new();
+        let vin = c.node();
+        let inn = c.node();
+        let out = c.node();
+        c.voltage_source(vin, Circuit::GROUND, 0.2);
+        c.conductance(vin, inn, 1e-3);
+        c.conductance(out, inn, 5e-4);
+        c.opamp(
+            Circuit::GROUND,
+            inn,
+            out,
+            OpampModel { gain: Some(10.0), offset: 0.0, tau: 100e-9, v_sat: 1.2 },
+        );
+        let cfg = TransientConfig { dt: Some(5e-9), ..Default::default() };
+        let tr = transient_solve(&c, &[0.0], &cfg).unwrap();
+        assert!(tr.settled);
+        assert!(tr.steps > 20, "expected a long settling run, got {} steps", tr.steps);
+        assert!(
+            tr.factorizations * 2 < tr.steps,
+            "{} factorizations over {} steps",
+            tr.factorizations,
+            tr.steps
+        );
     }
 
     #[test]

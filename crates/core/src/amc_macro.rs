@@ -627,14 +627,42 @@ impl MacroGroup {
         id: OperatorId,
         xs: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, CoreError> {
-        let op = self.operator(id)?;
-        let (rows, cols, scale, nplanes) =
-            (op.info.rows, op.info.cols, op.info.scale, op.info.planes);
-        let (planes, g_f, row_g_sum) = (op.planes.clone(), op.g_f, op.row_g_sum.clone());
+        let cols = self.operator(id)?.info.cols;
         for x in xs {
             if x.len() != cols {
                 return Err(CoreError::ShapeMismatch { expected: cols, found: x.len() });
             }
+        }
+        let mut v = Matrix::zeros(xs.len(), cols);
+        for (b, x) in xs.iter().enumerate() {
+            v.row_mut(b).copy_from_slice(x);
+        }
+        let out = self.mvm_batch_rows(id, &v)?;
+        Ok((0..out.rows()).map(|b| out.row(b).to_vec()).collect())
+    }
+
+    /// [`mvm_batch`](Self::mvm_batch) on matrix batches: row `b` of `xs` is
+    /// input vector `b`, row `b` of the result is its output. This is the
+    /// zero-copy streaming form the `gramc-nn` drive-matrix pipeline feeds
+    /// directly (no per-vector `Vec`s on either side); the slice-based
+    /// `mvm_batch` is a thin wrapper around it.
+    ///
+    /// The per-plane products run through [`parallel::map_collect`], one
+    /// scoped thread per plane, each plane's `matmul` capped to its share of
+    /// the thread budget — plane results are combined in plane order, so the
+    /// output does not depend on the thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShapeMismatch`] if `xs.cols()` differs from the
+    /// operator's column count, plus stale-handle errors.
+    pub fn mvm_batch_rows(&mut self, id: OperatorId, xs: &Matrix) -> Result<Matrix, CoreError> {
+        let op = self.operator(id)?;
+        let (rows, cols, scale, nplanes) =
+            (op.info.rows, op.info.cols, op.info.scale, op.info.planes);
+        let (planes, g_f, row_g_sum) = (op.planes.clone(), op.g_f, op.row_g_sum.clone());
+        if xs.cols() != cols {
+            return Err(CoreError::ShapeMismatch { expected: cols, found: xs.cols() });
         }
         self.configure_operator(id, MacroMode::Mvm)?;
         // One conductance read per plane for the whole batch, held
@@ -663,46 +691,50 @@ impl MacroGroup {
         let adc = self.macros[planes[0].macro_id].adc;
         // DAC-converted drive matrix, one batch vector per row (all-zero
         // inputs keep their exact-zero output without touching the arrays).
-        let bsz = xs.len();
+        let bsz = xs.rows();
         let mut v_mat = Matrix::zeros(bsz, cols);
         let mut x_maxes = vec![0.0; bsz];
-        for (b, x) in xs.iter().enumerate() {
-            let x_max = vector::norm_inf(x);
-            x_maxes[b] = x_max;
-            if x_max == 0.0 {
+        for (b, x_max) in x_maxes.iter_mut().enumerate() {
+            let x = xs.row(b);
+            *x_max = vector::norm_inf(x);
+            if *x_max == 0.0 {
                 continue;
             }
             for (vj, &xi) in v_mat.row_mut(b).iter_mut().zip(x) {
-                *vj = dac.convert(xi / x_max);
+                *vj = dac.convert(xi / *x_max);
             }
         }
-        let currents: Vec<Matrix> = gs_t.iter().map(|g_t| v_mat.matmul(g_t)).collect();
-        let mut out = Vec::with_capacity(bsz);
+        // Plane drives are independent analog events: fan them out over
+        // scoped threads (serial and in order when the feature is off or
+        // only one core is available — same results either way).
+        let currents: Vec<Matrix> =
+            gramc_linalg::parallel::map_collect(&gs_t, |g_t| v_mat.matmul(g_t));
+        let mut out = Matrix::zeros(bsz, rows);
         for (b, &x_max) in x_maxes.iter().enumerate() {
             if x_max == 0.0 {
-                out.push(vec![0.0; rows]);
                 continue;
             }
             let v_scale = self.config.v_read / x_max;
             let conv = self.current_decode(scale, v_scale);
-            let mut y = Vec::with_capacity(rows);
-            for i in 0..rows {
+            let y = out.row_mut(b);
+            for (i, yi) in y.iter_mut().enumerate() {
                 let offset = self.macros[planes[0].macro_id].opamp_offset(i);
                 let noise_gain = 1.0 + row_g_sum[i] / g_f;
-                let mut pair_values = Vec::with_capacity(nplanes / 2);
-                for pair in 0..nplanes / 2 {
+                // At most two differential pairs (2 or 4 planes): a fixed
+                // array keeps the hot decode loop allocation-free.
+                let mut pair_values = [0.0_f64; 2];
+                for (pair, pv) in pair_values.iter_mut().take(nplanes / 2).enumerate() {
                     let i_diff = currents[2 * pair][(b, i)] - currents[2 * pair + 1][(b, i)];
                     let v_out = -i_diff / g_f + offset * noise_gain;
-                    pair_values.push(adc.convert(v_out) * adc.v_ref());
+                    *pv = adc.convert(v_out) * adc.v_ref();
                 }
                 let v_combined = match nplanes {
                     2 => pair_values[0],
                     4 => 16.0 * pair_values[0] + pair_values[1],
                     _ => unreachable!("operators have 2 or 4 planes"),
                 };
-                y.push(-v_combined * g_f * conv);
+                *yi = -v_combined * g_f * conv;
             }
-            out.push(y);
         }
         Ok(out)
     }
@@ -1461,6 +1493,39 @@ mod tests {
         for (x, y) in xs.iter().zip(&y3) {
             let y_ref = quantized.matvec(x);
             assert!(vector::rel_error(y, &y_ref) < 0.01, "{y:?} vs {y_ref:?}");
+        }
+    }
+
+    #[test]
+    fn mvm_batch_rows_matches_vec_batch_and_is_thread_count_invariant() {
+        // The Matrix-batch entry point is the implementation the Vec-batch
+        // wrapper delegates to, and its per-plane map_collect fan-out must
+        // not change results with the thread budget — including on a
+        // 4-plane bit-sliced operator where the plane loop actually fans
+        // out. Noise-free config keeps every call deterministic; bit
+        // slicing needs 4-bit cells, so use the quantization-only config.
+        let cfg = MacroConfig {
+            nonideal: NonidealityConfig::quantization_only(4),
+            ..MacroConfig::small(6)
+        };
+        let mut g = MacroGroup::new(4, cfg, 91);
+        let mut rng = seeded_rng(92);
+        let a = random::gaussian_matrix(&mut rng, 6, 6);
+        let op = g.load_matrix_bitsliced(&a).unwrap();
+        let xs: Vec<Vec<f64>> = (0..5).map(|_| random::normal_vector(&mut rng, 6)).collect();
+        let mut m = Matrix::zeros(5, 6);
+        for (b, x) in xs.iter().enumerate() {
+            m.row_mut(b).copy_from_slice(x);
+        }
+        let via_vecs = g.mvm_batch(op, &xs).unwrap();
+        let via_rows = g.mvm_batch_rows(op, &m).unwrap();
+        let serial_planes =
+            gramc_linalg::parallel::with_thread_cap(1, || g.mvm_batch_rows(op, &m)).unwrap();
+        for (b, y) in via_vecs.iter().enumerate() {
+            for (j, v) in y.iter().enumerate() {
+                assert_eq!(v.to_bits(), via_rows[(b, j)].to_bits());
+                assert_eq!(v.to_bits(), serial_planes[(b, j)].to_bits());
+            }
         }
     }
 

@@ -152,25 +152,48 @@ impl TiledOperator {
         group: &mut MacroGroup,
         xs: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, CoreError> {
-        if self.freed {
-            return Err(CoreError::InvalidOperator);
-        }
         for x in xs {
             if x.len() != self.cols {
                 return Err(CoreError::ShapeMismatch { expected: self.cols, found: x.len() });
             }
         }
-        let mut ys = vec![vec![0.0; self.rows]; xs.len()];
+        let mut v = Matrix::zeros(xs.len(), self.cols);
+        for (b, x) in xs.iter().enumerate() {
+            v.row_mut(b).copy_from_slice(x);
+        }
+        let out = self.mvm_batch_rows(group, &v)?;
+        Ok((0..out.rows()).map(|b| out.row(b).to_vec()).collect())
+    }
+
+    /// [`mvm_batch`](Self::mvm_batch) on matrix batches (row `b` in, row `b`
+    /// out — the layout [`MacroGroup::mvm_batch_rows`] consumes directly).
+    /// Per tile, one column-slice matrix feeds one analog batch drive; the
+    /// streaming `gramc-nn` pipeline calls this with whole-dataset drive
+    /// matrices so nothing is allocated per image.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`mvm`](Self::mvm).
+    pub fn mvm_batch_rows(&self, group: &mut MacroGroup, xs: &Matrix) -> Result<Matrix, CoreError> {
+        if self.freed {
+            return Err(CoreError::InvalidOperator);
+        }
+        if xs.cols() != self.cols {
+            return Err(CoreError::ShapeMismatch { expected: self.cols, found: xs.cols() });
+        }
+        let bsz = xs.rows();
+        let mut ys = Matrix::zeros(bsz, self.rows);
         for (ri, &r0) in self.row_starts.iter().enumerate() {
             for (ci, &c0) in self.col_starts.iter().enumerate() {
                 let id = self.tiles[ri][ci];
                 let info = group.operator_info(id)?;
                 let (tr, tc) = (info.rows, info.cols);
-                let slices: Vec<Vec<f64>> = xs.iter().map(|x| x[c0..c0 + tc].to_vec()).collect();
-                let partials = group.mvm_batch(id, &slices)?;
-                for (y, partial) in ys.iter_mut().zip(&partials) {
-                    for (k, p) in partial.iter().enumerate().take(tr) {
-                        y[r0 + k] += p;
+                let slice = xs.block(0, c0, bsz, tc);
+                let partials = group.mvm_batch_rows(id, &slice)?;
+                for b in 0..bsz {
+                    let y = &mut ys.row_mut(b)[r0..r0 + tr];
+                    for (yk, &p) in y.iter_mut().zip(&partials.row(b)[..tr]) {
+                        *yk += p;
                     }
                 }
             }

@@ -18,6 +18,40 @@
 //!   paper's "analog seed solution" claim,
 //! * [`random`] — seeded Wishart / Gram / Gaussian workload generators.
 //!
+//! # Performance architecture
+//!
+//! The crate is the compute floor for everything above it (crossbar reads,
+//! MNA solves, tiled macro dispatch, LeNet inference), so its hot paths are
+//! organized as a **raw-speed ladder** — each rung is bit-identical to the
+//! path it replaced and benchmarked against it in `BENCH_kernels.json`:
+//!
+//! 1. **Packed register-tile matmul** (`kernel`): [`Matrix::matmul`]
+//!    dispatches large-enough products to a 4×4 register-tile micro-kernel
+//!    over a column-packed copy of the right-hand side. Packing changes
+//!    only *where* B is read, and every output element still accumulates
+//!    its k-terms in ascending order with separate mul + add, so the
+//!    result is bit-identical to the blocked kernel
+//!    ([`Matrix::matmul_unpacked`]) it replaced.
+//! 2. **Blocked parallel LU** ([`LuDecomposition::new`]): right-looking
+//!    panel factorization whose trailing-submatrix updates fan out over
+//!    the [`parallel`] helpers; column ownership makes every f64 touched
+//!    by exactly one thread, so the factors match the serial oracle
+//!    ([`LuDecomposition::new_unblocked`]) bitwise at any thread count.
+//! 3. **Plane-parallel analog dispatch** (`gramc-core`): the per-plane
+//!    drive-matrix products of a bit-sliced operator run through
+//!    [`parallel::map_collect`], which preserves output order — thread
+//!    count cannot change results.
+//! 4. **Fused streaming inference** (`gramc-nn`): im2col writes straight
+//!    into reusable whole-batch drive matrices; bias + ReLU + pooling fuse
+//!    into the decode pass. Zero per-image heap allocation at steady
+//!    state.
+//!
+//! The [`parallel`] module is the one switchboard for all of this: the
+//! `parallel` cargo feature (default on) gates thread spawning, and
+//! [`parallel::with_thread_cap`] scopes a deterministic serial fallback
+//! for tests and benchmarks. Because every rung is bit-identical, the
+//! feature flag and cap change speed, never answers.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +72,7 @@
 
 mod cholesky;
 mod error;
+mod kernel;
 mod matrix;
 
 pub mod eigen;

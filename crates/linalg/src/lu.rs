@@ -40,8 +40,29 @@ const SINGULARITY_TOL: f64 = 1e-13;
 /// Minimum RHS columns per thread before `solve_matrix` splits the batch.
 const PAR_SOLVE_MIN_COLS: usize = 16;
 
+/// Panel width of the blocked factorization.
+const LU_PANEL: usize = 32;
+
+/// Smallest dimension routed to the blocked factorization (below this the
+/// panel/trailing split is pure overhead).
+const LU_BLOCK_MIN: usize = 64;
+
+/// Trailing-update rows per scheduling unit (multiple of the 4-row tile).
+const LU_TRAIL_ROW_BLOCK: usize = 32;
+
 impl LuDecomposition {
     /// Factorizes `a`.
+    ///
+    /// Dispatches by size: at `LU_BLOCK_MIN` and above this runs the
+    /// blocked right-looking factorization (serial panel of `LU_PANEL`
+    /// columns, then the O(n²)-per-panel trailing-submatrix update through
+    /// the packed register-tile subtract kernel of `crate::kernel`, row
+    /// blocks distributed over [`crate::parallel`]); smaller matrices use
+    /// the serial unblocked loop
+    /// ([`new_unblocked`](Self::new_unblocked)). Both paths perform the
+    /// same eliminations in the same per-element order on the same values,
+    /// so they choose identical pivots and produce bit-identical factors —
+    /// with or without the `parallel` feature.
     ///
     /// # Errors
     ///
@@ -49,6 +70,20 @@ impl LuDecomposition {
     /// * [`LinalgError::Singular`] if a pivot smaller than the singularity
     ///   threshold (relative to the matrix scale) is encountered.
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.is_square() && a.rows() >= LU_BLOCK_MIN {
+            Self::new_blocked(a)
+        } else {
+            Self::new_unblocked(a)
+        }
+    }
+
+    /// Serial unblocked factorization: the reference path every fast flavor
+    /// is verified against, and the small-size path of [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// See [`new`](Self::new).
+    pub fn new_unblocked(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { found: a.shape() });
         }
@@ -93,6 +128,141 @@ impl LuDecomposition {
                     lu[(i, j)] -= factor * ukj;
                 }
             }
+        }
+        Ok(Self { lu, perm, perm_sign })
+    }
+
+    /// Blocked right-looking factorization (see [`new`](Self::new) for the
+    /// dispatch story and the equivalence argument).
+    ///
+    /// Each elimination step still divides by the pivot, updates with a
+    /// separate multiply and subtract, and skips exact-zero factors — only
+    /// *when* the trailing columns receive their updates moves (deferred to
+    /// the panel boundary), never the per-element update order or values.
+    fn new_blocked(a: &Matrix) -> Result<Self, LinalgError> {
+        debug_assert!(a.is_square() && a.rows() > 0);
+        let n = a.rows();
+        let scale = a.max_abs().max(1.0);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let mut packed = Vec::new();
+
+        for k0 in (0..n).step_by(LU_PANEL) {
+            let k1 = (k0 + LU_PANEL).min(n);
+            // Panel factorization: full-height columns k0..k1, eliminations
+            // applied within the panel only. Every column is fully updated
+            // by the time its pivot search runs (in-panel steps here,
+            // earlier panels via their trailing updates), so pivot choices
+            // match the unblocked loop exactly.
+            for k in k0..k1 {
+                let mut pivot_row = k;
+                let mut pivot_val = lu[(k, k)].abs();
+                for i in (k + 1)..n {
+                    let v = lu[(i, k)].abs();
+                    if v > pivot_val {
+                        pivot_val = v;
+                        pivot_row = i;
+                    }
+                }
+                if pivot_val <= SINGULARITY_TOL * scale {
+                    return Err(LinalgError::Singular { pivot: k });
+                }
+                if pivot_row != k {
+                    lu.swap_rows(k, pivot_row);
+                    perm.swap(k, pivot_row);
+                    perm_sign = -perm_sign;
+                }
+                let pivot = lu[(k, k)];
+                let data = lu.as_mut_slice();
+                let (top, below) = data.split_at_mut((k + 1) * n);
+                let urow = &top[k * n + k + 1..k * n + k1];
+                for row in below.chunks_exact_mut(n) {
+                    let factor = row[k] / pivot;
+                    row[k] = factor;
+                    if factor == 0.0 {
+                        continue;
+                    }
+                    for (x, &u) in row[k + 1..k1].iter_mut().zip(urow) {
+                        *x -= factor * u;
+                    }
+                }
+            }
+            if k1 == n {
+                break;
+            }
+            // U12 update: panel rows catch up on columns k1..n, ascending
+            // elimination step m per row — the updates the unblocked loop
+            // interleaved with the panel's.
+            {
+                let data = lu.as_mut_slice();
+                for k in (k0 + 1)..k1 {
+                    let (head, tail) = data.split_at_mut(k * n);
+                    let (row_k_head, row_k_trail) = tail[..n].split_at_mut(k1);
+                    for m in k0..k {
+                        let factor = row_k_head[m];
+                        if factor == 0.0 {
+                            continue;
+                        }
+                        let urow = &head[m * n + k1..(m + 1) * n];
+                        for (x, &u) in row_k_trail.iter_mut().zip(urow) {
+                            *x -= factor * u;
+                        }
+                    }
+                }
+            }
+            // Trailing update: A22 -= L21 · U12 through the packed subtract
+            // micro-kernel, 4-row groups distributed over scoped threads.
+            let nb = k1 - k0;
+            let ntrail = n - k1;
+            {
+                let data = lu.as_slice();
+                crate::kernel::pack_panels(
+                    (k0..k1).map(|r| &data[r * n + k1..(r + 1) * n]),
+                    ntrail,
+                    &mut packed,
+                );
+            }
+            let packed_ref = &packed;
+            let data = lu.as_mut_slice();
+            let (_, below) = data.split_at_mut(k1 * n);
+            crate::parallel::for_each_chunk_mut(below, LU_TRAIL_ROW_BLOCK * n, |_, chunk| {
+                let nrows = chunk.len() / n;
+                let mut rest = chunk;
+                let mut done = 0;
+                while done + 4 <= nrows {
+                    let (r0, tail) = rest.split_at_mut(n);
+                    let (r1, tail) = tail.split_at_mut(n);
+                    let (r2, tail) = tail.split_at_mut(n);
+                    let (r3, tail) = tail.split_at_mut(n);
+                    let (l0, c0) = r0.split_at_mut(k1);
+                    let (l1, c1) = r1.split_at_mut(k1);
+                    let (l2, c2) = r2.split_at_mut(k1);
+                    let (l3, c3) = r3.split_at_mut(k1);
+                    crate::kernel::update_rows_x4::<true, true>(
+                        [c0, c1, c2, c3],
+                        [&l0[k0..], &l1[k0..], &l2[k0..], &l3[k0..]],
+                        packed_ref,
+                        nb,
+                        ntrail,
+                    );
+                    rest = tail;
+                    done += 4;
+                }
+                while done < nrows {
+                    let (r0, tail) = rest.split_at_mut(n);
+                    let (l0, c0) = r0.split_at_mut(k1);
+                    crate::kernel::update_rows_x1::<true, true>(
+                        c0,
+                        &l0[k0..],
+                        packed_ref,
+                        nb,
+                        ntrail,
+                    );
+                    rest = tail;
+                    done += 1;
+                }
+            });
         }
         Ok(Self { lu, perm, perm_sign })
     }
@@ -383,6 +553,86 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    fn assert_factorizations_bit_identical(a: &Matrix, label: &str) {
+        let blocked = LuDecomposition::new_blocked(a).unwrap();
+        let serial = LuDecomposition::new_unblocked(a).unwrap();
+        assert_eq!(blocked.perm, serial.perm, "{label}: pivot choices diverged");
+        assert_eq!(blocked.perm_sign, serial.perm_sign, "{label}");
+        for (x, y) in blocked.lu.as_slice().iter().zip(serial.lu.as_slice()) {
+            assert!(x.to_bits() == y.to_bits(), "{label}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_factorization_matches_unblocked_bitwise() {
+        // Sizes straddling panel boundaries (multiples of the panel, one
+        // off, panel-sized, sub-panel) with dense sign-mixed data.
+        for n in [5usize, 31, 32, 33, 64, 97, 130] {
+            let a = Matrix::from_fn(n, n, |i, j| {
+                if i == j {
+                    3.0 + (i as f64 * 0.3).sin()
+                } else {
+                    ((5 * i + 3 * j) as f64 * 0.29).sin() * 0.8 - 0.1
+                }
+            });
+            assert_factorizations_bit_identical(&a, &format!("dense n={n}"));
+        }
+    }
+
+    #[test]
+    fn blocked_factorization_matches_unblocked_on_structured_matrices() {
+        // Sparse/structured inputs exercise the exact-zero factor skip and
+        // heavy pivoting: a permuted banded matrix and a permuted identity.
+        let n = 70;
+        let banded = Matrix::from_fn(n, n, |i, j| {
+            let d = i.abs_diff(j);
+            if d == 0 {
+                4.0
+            } else if d <= 2 {
+                ((i + j) as f64 * 0.41).cos()
+            } else {
+                0.0
+            }
+        });
+        assert_factorizations_bit_identical(&banded, "banded");
+        let mut permuted = Matrix::zeros(n, n);
+        for i in 0..n {
+            permuted[(i, (i * 13 + 5) % n)] = 1.0 + i as f64 * 0.01;
+        }
+        assert_factorizations_bit_identical(&permuted, "permuted diagonal");
+    }
+
+    #[test]
+    fn blocked_factorization_rejects_singular_like_unblocked() {
+        // Make a 70×70 matrix singular by duplicating a row; both paths must
+        // fail with the Singular error rather than producing garbage.
+        let n = 70;
+        let mut a = Matrix::from_fn(n, n, |i, j| ((3 * i + 7 * j) as f64 * 0.23).sin());
+        let dup = a.row(10).to_vec();
+        a.row_mut(50).copy_from_slice(&dup);
+        assert!(matches!(LuDecomposition::new_blocked(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(LuDecomposition::new_unblocked(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn dispatched_factorization_solves_above_block_threshold() {
+        let n = 96;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                5.0
+            } else {
+                ((i * n + j) as f64 * 0.13).sin() * 0.5
+            }
+        });
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-9);
         }
     }
 

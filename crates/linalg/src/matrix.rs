@@ -102,6 +102,18 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Reshapes in place to `rows × cols` with every entry zeroed, reusing
+    /// the existing allocation whenever its capacity suffices (grow-only).
+    /// This is the backing primitive for streaming pipelines that pump
+    /// differently-sized batches through one scratch matrix without
+    /// re-allocating per call.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -181,19 +193,48 @@ impl Matrix {
 
     /// Matrix–matrix product `self · rhs`.
     ///
-    /// This is the blocked fast path: output rows are processed in groups of
-    /// four so every loaded `rhs` row feeds four accumulator rows (4× less
-    /// memory traffic than the row-at-a-time i-k-j loop), and with the
-    /// `parallel` feature the row blocks are distributed over scoped threads
-    /// (see [`crate::parallel`]). Each output element accumulates over `k`
-    /// in ascending order regardless of blocking or thread count, so for
-    /// finite inputs the result is bit-identical to
-    /// [`matmul_reference`](Self::matmul_reference).
+    /// Dispatches by shape: once every dimension reaches the packed
+    /// threshold, the product runs through the packed register-tile
+    /// micro-kernel in `crate::kernel` (B repacked into 4-lane column
+    /// panels, 4×4 accumulator tile held in registers — the layout LLVM
+    /// vectorizes into `f64x4` ops); smaller shapes use the previous
+    /// 4-row blocked kernel ([`matmul_unpacked`](Self::matmul_unpacked)),
+    /// whose packing-free setup wins there. Both paths split output row
+    /// blocks over scoped threads with the `parallel` feature (see
+    /// [`crate::parallel`]). Each output element accumulates over `k` in
+    /// ascending order with separate multiply and add regardless of kernel,
+    /// blocking, or thread count, so for finite inputs the result is
+    /// bit-identical to [`matmul_reference`](Self::matmul_reference).
     ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if crate::kernel::packed_worthwhile(self.rows, self.cols, rhs.cols) {
+            let mut out = Matrix::zeros(self.rows, rhs.cols);
+            crate::kernel::matmul_packed_into(&mut out, self, rhs);
+            return out;
+        }
+        self.matmul_unpacked(rhs)
+    }
+
+    /// Previous-generation blocked product: 4-row axpy micro-kernel over the
+    /// unpacked B, row blocks split over scoped threads.
+    ///
+    /// Still the small-shape path of [`matmul`](Self::matmul) (no packing
+    /// setup cost), and kept callable so the perf benches can measure the
+    /// packed kernel's speedup against it. Bit-identical to
+    /// [`matmul_reference`](Self::matmul_reference) for finite inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_unpacked(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} · {}x{}",
@@ -642,19 +683,65 @@ mod tests {
 
     #[test]
     fn matmul_matches_reference_bitwise() {
-        // Fast path (4-row micro-kernel, row-block scheduling, possibly
+        // Both fast paths (packed register-tile kernel above the size
+        // threshold, 4-row unpacked kernel below it, either possibly
         // threaded) must agree with the textbook triple loop bit-for-bit —
-        // shapes chosen to hit the 4-row kernel, the 1–3 row tail, and
-        // multiple scheduling chunks.
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 2), (4, 4, 4), (7, 9, 5), (70, 33, 41)]
-        {
+        // shapes chosen to hit the 4-row kernel, the 1–3 row tail, ragged
+        // panel edges, and multiple scheduling chunks.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (4, 4, 4),
+            (7, 9, 5),
+            (70, 33, 41),
+            (16, 16, 16),
+            (31, 17, 19),
+            (50, 64, 50),
+        ] {
             let a = Matrix::from_fn(m, k, |i, j| ((i * k + j) as f64 * 0.7).sin());
             let b = Matrix::from_fn(k, n, |i, j| ((i * n + j) as f64 * 1.3).cos());
-            let fast = a.matmul(&b);
             let slow = a.matmul_reference(&b);
-            assert_eq!(fast.shape(), slow.shape());
-            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-                assert!(x.to_bits() == y.to_bits(), "{m}x{k}·{k}x{n}: {x} vs {y}");
+            for (label, fast) in
+                [("packed-dispatch", a.matmul(&b)), ("unpacked", a.matmul_unpacked(&b))]
+            {
+                assert_eq!(fast.shape(), slow.shape());
+                for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                    assert!(x.to_bits() == y.to_bits(), "{label} {m}x{k}·{k}x{n}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_property_sweep_matches_reference_bitwise() {
+        // Seeded pseudo-random shape sweep: degenerate (empty, 1×N, N×1),
+        // non-multiples of the tile size, and shapes straddling the packed
+        // threshold, each with sign-mixed data containing exact zeros.
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move |hi: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize % hi
+        };
+        let mut shapes: Vec<(usize, usize, usize)> =
+            vec![(0, 0, 0), (0, 3, 2), (2, 0, 3), (3, 2, 0), (1, 37, 1), (1, 1, 37), (37, 1, 1)];
+        for _ in 0..12 {
+            shapes.push((next(40) + 1, next(40) + 1, next(40) + 1));
+        }
+        for (m, k, n) in shapes {
+            let a = Matrix::from_fn(m, k, |i, j| {
+                if (i + 2 * j) % 5 == 0 {
+                    0.0
+                } else {
+                    ((i * k + j) as f64 * 0.31).sin() - 0.3
+                }
+            });
+            let b = Matrix::from_fn(k, n, |i, j| ((i * n + j) as f64 * 0.17).cos() - 0.6);
+            let slow = a.matmul_reference(&b);
+            for (label, fast) in [("dispatch", a.matmul(&b)), ("unpacked", a.matmul_unpacked(&b))] {
+                assert_eq!(fast.shape(), slow.shape());
+                for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                    assert!(x.to_bits() == y.to_bits(), "{label} {m}x{k}x{n}: {x} vs {y}");
+                }
             }
         }
     }

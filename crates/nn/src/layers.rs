@@ -34,6 +34,46 @@ pub fn im2col(input: &Tensor3, k: usize) -> Matrix {
     cols
 }
 
+/// Row-major streaming variant of [`im2col`]: lowers a channel-major
+/// `(c, h, w)` feature map (flat slice, `map[(ci·h + y)·w + x]`) into
+/// `oh·ow` **rows** of `out`, starting at `row0`. Row `oy·ow + ox` holds the
+/// patch at output position `(oy, ox)` with the same feature order as
+/// [`im2col`]'s rows (`(ci·k + ky)·k + kx`), i.e.
+/// `out.row(row0 + p) == im2col(t, k).col(p)` element-for-element. Writes
+/// straight into a caller-owned drive matrix so whole-dataset batches
+/// assemble with zero per-image allocation.
+///
+/// # Panics
+///
+/// Panics if `map` disagrees with `(c, h, w)`, the kernel exceeds the map,
+/// `out` is narrower than `c·k·k`, or the rows starting at `row0` don't fit.
+pub fn im2col_rows_into(
+    map: &[f64],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    out: &mut Matrix,
+    row0: usize,
+) {
+    assert_eq!(map.len(), c * h * w, "feature map length mismatch");
+    assert!(h >= k && w >= k, "kernel larger than input");
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    assert_eq!(out.cols(), c * k * k, "drive matrix width mismatch");
+    assert!(row0 + oh * ow <= out.rows(), "drive matrix rows exhausted");
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = out.row_mut(row0 + oy * ow + ox);
+            for ci in 0..c {
+                for ky in 0..k {
+                    let src = &map[(ci * h + oy + ky) * w + ox..][..k];
+                    row[(ci * k + ky) * k..(ci * k + ky) * k + k].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
 /// Adjoint of [`im2col`]: scatters a `(c·k·k) × (oh·ow)` gradient back onto
 /// the `(c, h, w)` input.
 pub fn col2im(grad_cols: &Matrix, c: usize, h: usize, w: usize, k: usize) -> Tensor3 {
@@ -389,6 +429,25 @@ mod tests {
         assert_eq!(cols.col(0), vec![0.0, 1.0, 3.0, 4.0]);
         // Last column = bottom-right patch [4,5,7,8].
         assert_eq!(cols.col(3), vec![4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_rows_into_matches_im2col_columns() {
+        let mut rng = seeded_rng(95);
+        let t = Tensor3::from_vec(
+            3,
+            6,
+            5,
+            (0..90).map(|_| gramc_linalg::random::standard_normal(&mut rng)).collect(),
+        );
+        let cols = im2col(&t, 3);
+        let (oh, ow) = (4, 3);
+        // Offset rows exercise the `row0` streaming path.
+        let mut drive = Matrix::zeros(5 + oh * ow, 3 * 9);
+        im2col_rows_into(t.as_slice(), 3, 6, 5, 3, &mut drive, 5);
+        for p in 0..oh * ow {
+            assert_eq!(drive.row(5 + p), cols.col(p).as_slice(), "position {p}");
+        }
     }
 
     #[test]

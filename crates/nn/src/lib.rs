@@ -24,7 +24,7 @@ pub mod quant;
 mod runtime_backend;
 mod tensor;
 
-pub use backend::GramcLenet;
+pub use backend::{GramcLenet, LenetScratch};
 pub use lenet::{EpochStats, LeNet5};
 pub use quant::Precision;
 pub use runtime_backend::RuntimeLenet;

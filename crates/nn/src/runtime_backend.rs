@@ -18,9 +18,10 @@
 use gramc_core::functional::argmax;
 use gramc_core::tiling::TileMapping;
 use gramc_core::{CoreError, MacroConfig};
+use gramc_linalg::Matrix;
 use gramc_runtime::{Runtime, RuntimeError, ShardedTiledOperator};
 
-use crate::backend::lenet_forward;
+use crate::backend::{lenet_forward, lenet_forward_stream, LenetScratch};
 use crate::lenet::LeNet5;
 use crate::quant::Precision;
 use crate::tensor::Tensor3;
@@ -31,6 +32,7 @@ pub struct RuntimeLenet {
     rt: Runtime,
     model: LeNet5,
     precision: Precision,
+    scratch: LenetScratch,
 }
 
 impl RuntimeLenet {
@@ -56,7 +58,12 @@ impl RuntimeLenet {
             )
             .into());
         }
-        Ok(Self { rt: Runtime::new(shards, macros_per_shard, config, seed), model, precision })
+        Ok(Self {
+            rt: Runtime::new(shards, macros_per_shard, config, seed),
+            model,
+            precision,
+            scratch: LenetScratch::default(),
+        })
     }
 
     /// The underlying runtime (for inspection).
@@ -72,7 +79,10 @@ impl RuntimeLenet {
         }
     }
 
-    /// Computes logits for a batch of images through the sharded pipeline.
+    /// Computes logits for a batch of images through the **per-image**
+    /// sharded pipeline (one analog drive per image per layer). The
+    /// streamed dataset path is [`logits_matrix`](Self::logits_matrix);
+    /// with noise-free reads the two are bit-identical.
     ///
     /// # Errors
     ///
@@ -90,13 +100,35 @@ impl RuntimeLenet {
         })
     }
 
-    /// Predicted classes for a batch.
+    /// Streams a whole dataset through the sharded pipeline: per layer one
+    /// tile load, one batched drive covering every image (the tiles'
+    /// partial products run across the shards), one free. Row `i` of the
+    /// result holds image `i`'s logits. See
+    /// [`GramcLenet::logits_matrix`](crate::GramcLenet::logits_matrix) for
+    /// the noise-draw semantics.
     ///
     /// # Errors
     ///
     /// See [`logits_batch`](Self::logits_batch).
+    pub fn logits_matrix(&mut self, images: &[Tensor3]) -> Result<Matrix, RuntimeError> {
+        let mapping = self.mapping();
+        let rt = &self.rt;
+        lenet_forward_stream(&self.model, images, &mut self.scratch, |w, drive| {
+            let mut tiled = ShardedTiledOperator::load(rt, w, mapping)?;
+            let result = tiled.mvm_batch_rows(rt, drive);
+            tiled.free(rt)?;
+            result
+        })
+    }
+
+    /// Predicted classes for a batch (streamed pipeline).
+    ///
+    /// # Errors
+    ///
+    /// See [`logits_matrix`](Self::logits_matrix).
     pub fn predict_batch(&mut self, images: &[Tensor3]) -> Result<Vec<usize>, RuntimeError> {
-        Ok(self.logits_batch(images)?.iter().map(|l| argmax(l)).collect())
+        let logits = self.logits_matrix(images)?;
+        Ok((0..logits.rows()).map(|b| argmax(logits.row(b))).collect())
     }
 
     /// Classification accuracy of the sharded pipeline on a labelled set.
@@ -163,6 +195,35 @@ mod tests {
         let logits_single = single.logits_batch(sample).unwrap();
         let logits_sharded = sharded.logits_batch(sample).unwrap();
         assert_eq!(logits_single, logits_sharded);
+    }
+
+    /// Streamed sharded inference must agree bit-for-bit with both its own
+    /// per-image path and the single-group streamed path when conductance
+    /// reads are noise-free (quantization-only config, one shard, same
+    /// seed).
+    #[test]
+    fn streamed_sharded_logits_are_bit_identical_to_per_image_and_single_group() {
+        use gramc_core::NonidealityConfig;
+
+        let (net, images, _) = trained_model();
+        let quiet = MacroConfig {
+            nonideal: NonidealityConfig::quantization_only(4),
+            ..MacroConfig::default()
+        };
+        let mut single =
+            GramcLenet::new(net.clone(), Precision::Int4, quiet.clone(), 16, 122).unwrap();
+        let mut sharded = RuntimeLenet::new(net, Precision::Int4, quiet, 1, 16, 122).unwrap();
+        let sample = &images[..4];
+        let per_image = sharded.logits_batch(sample).unwrap();
+        let streamed = sharded.logits_matrix(sample).unwrap();
+        let streamed_single = single.logits_matrix(sample).unwrap();
+        assert_eq!(streamed.shape(), (4, 10));
+        for (b, y) in per_image.iter().enumerate() {
+            for (j, v) in y.iter().enumerate() {
+                assert_eq!(v.to_bits(), streamed[(b, j)].to_bits(), "image {b} logit {j}");
+                assert_eq!(v.to_bits(), streamed_single[(b, j)].to_bits(), "image {b} logit {j}");
+            }
+        }
     }
 
     #[test]

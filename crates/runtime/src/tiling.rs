@@ -103,30 +103,55 @@ impl ShardedTiledOperator {
     /// [`RuntimeError::InvalidHandle`] after [`free`](Self::free); shape
     /// errors for wrong input lengths; shard errors propagate.
     pub fn mvm_batch(&self, rt: &Runtime, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, RuntimeError> {
-        if self.freed {
-            return Err(RuntimeError::InvalidHandle);
-        }
         for x in xs {
             if x.len() != self.cols {
                 return Err(CoreError::ShapeMismatch { expected: self.cols, found: x.len() }.into());
             }
         }
-        if xs.is_empty() {
-            return Ok(Vec::new());
+        let mut v = Matrix::zeros(xs.len(), self.cols);
+        for (b, x) in xs.iter().enumerate() {
+            v.row_mut(b).copy_from_slice(x);
+        }
+        let out = self.mvm_batch_rows(rt, &v)?;
+        Ok((0..out.rows()).map(|b| out.row(b).to_vec()).collect())
+    }
+
+    /// [`mvm_batch`](Self::mvm_batch) on matrix batches (row `b` in, row `b`
+    /// out). Per tile, one column-slice job crosses the shard boundary per
+    /// *batch* — the streaming `gramc-nn` pipeline submits whole-dataset
+    /// drive matrices through this, so job payload assembly is per tile per
+    /// layer, never per image.
+    ///
+    /// # Errors
+    ///
+    /// See [`mvm_batch`](Self::mvm_batch).
+    pub fn mvm_batch_rows(&self, rt: &Runtime, xs: &Matrix) -> Result<Matrix, RuntimeError> {
+        if self.freed {
+            return Err(RuntimeError::InvalidHandle);
+        }
+        if xs.cols() != self.cols {
+            return Err(CoreError::ShapeMismatch { expected: self.cols, found: xs.cols() }.into());
+        }
+        let bsz = xs.rows();
+        if bsz == 0 {
+            return Ok(Matrix::zeros(0, self.rows));
         }
         let mut jobs = Vec::with_capacity(self.tiles.len());
         for t in &self.tiles {
+            // Job payloads stay `Vec<Vec<f64>>` (the scheduler's wire
+            // format); one slice set per tile per batch.
             let slices: Vec<Vec<f64>> =
-                xs.iter().map(|x| x[t.c0..t.c0 + t.cols].to_vec()).collect();
+                (0..bsz).map(|b| xs.row(b)[t.c0..t.c0 + t.cols].to_vec()).collect();
             jobs.push(rt.submit_mvm_batch(t.handle, slices)?);
         }
         rt.run_all();
-        let mut ys = vec![vec![0.0; self.rows]; xs.len()];
+        let mut ys = Matrix::zeros(bsz, self.rows);
         for (t, jh) in self.tiles.iter().zip(&jobs) {
             let partials = jh.wait_vectors()?;
-            for (y, partial) in ys.iter_mut().zip(&partials) {
-                for (k, p) in partial.iter().enumerate().take(t.rows) {
-                    y[t.r0 + k] += p;
+            for (b, partial) in partials.iter().enumerate() {
+                let y = &mut ys.row_mut(b)[t.r0..t.r0 + t.rows];
+                for (yk, &p) in y.iter_mut().zip(partial.iter().take(t.rows)) {
+                    *yk += p;
                 }
             }
         }
