@@ -7,6 +7,12 @@
 //! serving accuracy and recovery latency of the self-healing runtime as a
 //! function of the stuck-cell rate.
 //!
+//! Both modes also write a `TELEMETRY_report.json` next to the benchmark
+//! report: the sharded runtime's serving metrics (submit→dispatch→complete
+//! latency histograms, scheduler counters, per-job-kind hardware counters
+//! priced through the analog cost model) plus — in full mode — the
+//! hardware events of one streamed LeNet pass.
+//!
 //! ```sh
 //! cargo run -p gramc-bench --release --bin bench_kernels [-- output.json]
 //! # CI smoke mode: fault sweep + perf regression gate against a baseline
@@ -18,14 +24,96 @@
 use gramc_array::{ActiveRegion, ArrayConfig, CrossbarArray};
 use gramc_bench::timing::{to_json, Reporter, Sample};
 use gramc_circuit::{dc_solve, topology, DcOperator, OpampModel};
+use gramc_core::metrics::AnalogCostModel;
 use gramc_core::tiling::TileMapping;
 use gramc_core::{MacroConfig, MacroGroup, NonidealityConfig};
 use gramc_device::LevelQuantizer;
 use gramc_linalg::{random, LuDecomposition, Matrix};
 use gramc_nn::{GramcLenet, LeNet5, Precision, Tensor3};
-use gramc_runtime::{Placement, Runtime};
+use gramc_runtime::{HwSnapshot, MetricsSnapshot, Placement, Runtime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// JSON object for one hardware-counter snapshot (stable
+/// [`HwSnapshot::fields`] order).
+fn hw_json(hw: &HwSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{");
+    for (i, (name, v)) in hw.fields().iter().enumerate() {
+        let comma = if i + 1 < gramc_telemetry::HW_FIELDS { ", " } else { "" };
+        let _ = write!(s, "\"{name}\": {v}{comma}");
+    }
+    s.push('}');
+    s
+}
+
+/// Composes and writes `TELEMETRY_report.json` next to `out_path`:
+/// free-form metadata, one runtime's serving-metrics snapshot under
+/// `runtime_label` and — in full mode — the hardware events of one
+/// streamed LeNet pass priced through the default cost model.
+fn write_telemetry_report(
+    out_path: &str,
+    meta: &[(&str, String)],
+    runtime_label: &str,
+    runtime: &MetricsSnapshot,
+    lenet: Option<(usize, HwSnapshot)>,
+) {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"meta\": {\n");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        let comma = if i + 1 < meta.len() { "," } else { "" };
+        // Numbers and booleans pass through unquoted, like `to_json`.
+        if v.parse::<f64>().is_ok() || v == "true" || v == "false" {
+            let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+        } else {
+            let _ = writeln!(out, "    \"{k}\": \"{v}\"{comma}");
+        }
+    }
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"{runtime_label}\": {},", runtime.to_json().trim_end());
+    match lenet {
+        Some((images, hw)) => {
+            let cost = AnalogCostModel::default().attribute(&hw);
+            let _ = writeln!(
+                out,
+                "  \"lenet_stream\": {{\"images\": {images}, \"hw\": {}, \
+                 \"modeled\": {{\"latency_s\": {:e}, \"energy_j\": {:e}}}}}",
+                hw_json(&hw),
+                cost.latency,
+                cost.energy
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"lenet_stream\": null");
+        }
+    }
+    out.push_str("}\n");
+    let path = std::path::Path::new(out_path)
+        .parent()
+        .map_or_else(|| "TELEMETRY_report.json".into(), |d| d.join("TELEMETRY_report.json"));
+    std::fs::write(&path, out).expect("write telemetry json");
+    println!("wrote {}", path.display());
+}
+
+/// Smoke-mode telemetry workload: a two-shard runtime serving 32 coalesced
+/// MVM requests, so CI can assert the report is well-formed — nonzero
+/// DAC/ADC/settle/write-pulse counts and populated latency histograms —
+/// without paying for the full bench.
+fn smoke_metrics_snapshot() -> MetricsSnapshot {
+    let rt = Runtime::new(2, 2, MacroConfig::small_ideal(64), 6);
+    let mut rng = random::seeded_rng(21);
+    let a = random::gaussian_matrix(&mut rng, 64, 64);
+    let ops: Vec<_> =
+        (0..2).map(|s| rt.load(&a, TileMapping::FourBit, Placement::Pinned(s)).unwrap()).collect();
+    let handles: Vec<_> = (0..32)
+        .map(|k| rt.submit_mvm(ops[k % 2], random::normal_vector(&mut rng, 64)).unwrap())
+        .collect();
+    rt.run_all();
+    for h in &handles {
+        h.wait_vector().unwrap();
+    }
+    rt.metrics_snapshot()
+}
 
 /// Fault sweep: for each stuck-cell rate, serve a fixed MVM workload on a
 /// two-shard runtime with one shard fault-injected mid-workload, and
@@ -188,6 +276,18 @@ fn main() {
             extra_meta.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
         std::fs::write(&out_path, to_json(&meta, &samples)).expect("write benchmark json");
         println!("wrote {out_path}");
+        let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let tmeta = vec![
+            ("bench", "bench_kernels_smoke".to_string()),
+            ("host_cpus", host_cpus.to_string()),
+        ];
+        write_telemetry_report(
+            &out_path,
+            &tmeta,
+            "runtime_sharded_mvm_2",
+            &smoke_metrics_snapshot(),
+            None,
+        );
         if !regressed.is_empty() {
             eprintln!("perf gate FAILED: {} regressed >20% vs baseline", regressed.join(", "));
             std::process::exit(1);
@@ -301,12 +401,19 @@ fn main() {
         .collect();
     r.bench("lenet_per_image_16", || lenet.logits_batch(&images).unwrap());
     r.bench("lenet_stream_16", || lenet.logits_matrix(&images).unwrap());
+    // One more streamed pass, snapshot-diffed: exactly the hardware events
+    // of a 16-image inference for the telemetry report (the benched
+    // iterations above accumulate an iteration-count-dependent total).
+    let lenet_before = lenet.hw_snapshot();
+    lenet.logits_matrix(&images).unwrap();
+    let lenet_hw = lenet.hw_snapshot().since(&lenet_before);
 
     // ── sharded runtime: 64 MVM requests spread over one operator per
     //    shard, coalesced into one analog dispatch per operator and
     //    scheduled with work stealing. The 1-shard entry is the scheduler
     //    overhead baseline; multi-shard entries measure scaling (bounded
     //    by the host's core count — single-core CI shows ≈1×).
+    let mut serving_metrics = None;
     for shards in [1usize, 2, 4] {
         let rt = Runtime::new(shards, 2, MacroConfig::small_ideal(64), 6);
         let ops: Vec<_> = (0..shards)
@@ -322,6 +429,9 @@ fn main() {
             rt.run_all();
             handles.iter().map(|h| h.wait_vector().unwrap()).collect::<Vec<_>>()
         });
+        if shards == 4 {
+            serving_metrics = Some(rt.metrics_snapshot());
+        }
     }
 
     // ── DC operator: fresh factorization per excitation vs factor-once.
@@ -375,6 +485,21 @@ fn main() {
         "sharded runtime: 64 requests over 4 shards run {sharded_speedup_4v1:.2}x \
          the 1-shard drain"
     );
+    let serving = serving_metrics.expect("4-shard runtime benched above");
+    println!(
+        "serving latency (4 shards, submit→complete): p50 {:.1} µs, p99 {:.1} µs, \
+         queue depth ≤ {}",
+        serving.submit_to_complete.p50_ns() as f64 / 1e3,
+        serving.submit_to_complete.p99_ns() as f64 / 1e3,
+        serving.queue_depth_max,
+    );
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host_cpus == 1 {
+        println!(
+            "single-core host: the sharded speedup measures scheduler overhead only \
+             (flagged overhead_only in the report meta)"
+        );
+    }
 
     // ── fault sweep (feature-gated): accuracy + recovery latency vs rate.
     #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
@@ -389,7 +514,7 @@ fn main() {
         ("dim_matmul", "512".to_string()),
         ("dim_array", "128".to_string()),
         ("threads", gramc_linalg::parallel::max_threads().to_string()),
-        ("host_cpus", std::thread::available_parallelism().map_or(1, |n| n.get()).to_string()),
+        ("host_cpus", host_cpus.to_string()),
         ("parallel_feature", gramc_linalg::parallel::feature_enabled().to_string()),
         ("fault_inject_feature", cfg!(feature = "fault-inject").to_string()),
         ("matmul_512_speedup_vs_naive", format!("{matmul_speedup:.3}")),
@@ -400,10 +525,29 @@ fn main() {
         ("batched_mvm_128_speedup_vs_uncached", format!("{batch_speedup:.3}")),
         ("runtime_sharded_mvm_speedup_4_shards_vs_1", format!("{sharded_speedup_4v1:.3}")),
     ];
+    // On a single-core host the multi-shard entries cannot overlap, so the
+    // speedup measures scheduler overhead, not scaling — flag it so
+    // regression tooling skips it rather than reading ≈1× as a loss.
+    if host_cpus == 1 {
+        meta.push(("runtime_sharded_mvm_speedup_4_shards_vs_1_overhead_only", "true".to_string()));
+    }
     meta.extend(extra_meta.iter().map(|(k, v)| (k.as_str(), v.clone())));
     let mut samples = r.samples().to_vec();
     samples.extend(extra_samples);
     let json = to_json(&meta, &samples);
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("wrote {out_path}");
+
+    let mut tmeta =
+        vec![("bench", "bench_kernels".to_string()), ("host_cpus", host_cpus.to_string())];
+    if host_cpus == 1 {
+        tmeta.push(("runtime_sharded_mvm_speedup_4_shards_vs_1_overhead_only", "true".to_string()));
+    }
+    write_telemetry_report(
+        &out_path,
+        &tmeta,
+        "runtime_sharded_mvm_4",
+        &serving,
+        Some((16, lenet_hw)),
+    );
 }

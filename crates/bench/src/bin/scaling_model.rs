@@ -8,6 +8,7 @@
 //! ```
 
 use gramc_core::metrics::{AnalogCostModel, DigitalCostModel};
+use gramc_core::{MacroConfig, MacroGroup};
 use std::time::Instant;
 
 use gramc_linalg::{lu, random};
@@ -48,6 +49,34 @@ fn main() {
         }
         println!("{:>6} {:>14.3e}", n, start.elapsed().as_secs_f64() / reps as f64);
     }
+
+    println!("\n# Measured counters vs closed form: the a-priori mvm(n) model against");
+    println!("# telemetry counters from a real drive, priced through `attribute`");
+    let n = 64;
+    let mut group = MacroGroup::new(2, MacroConfig::small_ideal(n), 3);
+    let mut mrng = random::seeded_rng(71);
+    let a = random::gaussian_matrix(&mut mrng, n, n);
+    let op = group.load_matrix(&a).expect("load");
+    let x = random::normal_vector(&mut mrng, n);
+    let mvms = 8;
+    let before = group.hw_snapshot();
+    for _ in 0..mvms {
+        group.mvm(op, &x).expect("mvm");
+    }
+    let hw = group.hw_snapshot().since(&before);
+    let measured = analog.attribute(&hw);
+    let closed = analog.mvm(n);
+    println!(
+        "{mvms} MVMs at n={n}: {} DAC drives, {} ADC conversions, {} settles",
+        hw.dac_drives, hw.adc_conversions, hw.settle_events
+    );
+    println!(
+        "  measured per MVM: {:.3e} s, {:.3e} J   closed-form mvm({n}): {:.3e} s, {:.3e} J",
+        measured.latency / mvms as f64,
+        measured.energy / mvms as f64,
+        closed.latency,
+        closed.energy
+    );
 
     println!("\n# Programming amortization: write-verify cost vs solves per matrix");
     let n = 128;

@@ -27,6 +27,8 @@ use gramc_device::{CellNoise, LevelQuantizer};
 #[cfg(feature = "fault-inject")]
 use gramc_device::{FaultConfig, FaultPlan};
 use gramc_linalg::{power_iteration, random, vector, Matrix};
+#[cfg(feature = "telemetry")]
+use gramc_telemetry::{HwCounters, HwSnapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -261,6 +263,11 @@ pub struct MacroGroup {
     quantizer: LevelQuantizer,
     write_verify: WriteVerifyController,
     rng: StdRng,
+    /// One shared hardware-counter sink for the whole group (installed into
+    /// every macro's array, so converter events counted here and array
+    /// events counted there aggregate in one place).
+    #[cfg(feature = "telemetry")]
+    telemetry: Arc<HwCounters>,
 }
 
 impl MacroGroup {
@@ -269,9 +276,43 @@ impl MacroGroup {
     pub fn new(n_macros: usize, config: MacroConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let quantizer = LevelQuantizer::with_bits(config.nonideal.weight_bits);
-        let macros = (0..n_macros).map(|id| AmcMacro::new(id, &config, &mut rng)).collect();
+        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+        let mut macros: Vec<AmcMacro> =
+            (0..n_macros).map(|id| AmcMacro::new(id, &config, &mut rng)).collect();
+        // Counter installation happens after all RNG-driven construction:
+        // telemetry never touches the random stream.
+        #[cfg(feature = "telemetry")]
+        let telemetry = {
+            let counters = Arc::new(HwCounters::new());
+            for m in &mut macros {
+                m.array.set_telemetry(counters.clone());
+            }
+            counters
+        };
         let write_verify = WriteVerifyController::new(Default::default(), quantizer.clone());
-        Self { config, macros, operators: Vec::new(), quantizer, write_verify, rng }
+        Self {
+            config,
+            macros,
+            operators: Vec::new(),
+            quantizer,
+            write_verify,
+            rng,
+            #[cfg(feature = "telemetry")]
+            telemetry,
+        }
+    }
+
+    /// The group's shared hardware event counters (also the sink of every
+    /// member array).
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry(&self) -> &Arc<HwCounters> {
+        &self.telemetry
+    }
+
+    /// A point-in-time copy of the group's hardware counters.
+    #[cfg(feature = "telemetry")]
+    pub fn hw_snapshot(&self) -> HwSnapshot {
+        self.telemetry.snapshot()
     }
 
     /// The paper's full system complement: 16 macros of 128×128.
@@ -567,6 +608,14 @@ impl MacroGroup {
         // All planes share the DAC drive.
         let dac = self.macros[planes[0].macro_id].dac;
         let v: Vec<f64> = x.iter().map(|&xi| dac.convert(xi / x_max)).collect();
+        // One DAC drive per input column, shared across planes; one ADC
+        // conversion per row per differential pair. Settles and cell reads
+        // are counted by `row_currents` inside the array.
+        #[cfg(feature = "telemetry")]
+        {
+            self.telemetry.add_dac_drives(cols as u64);
+            self.telemetry.add_adc_conversions((rows * (nplanes / 2)) as u64);
+        }
 
         // Per-plane row currents.
         let mut currents = Vec::with_capacity(nplanes);
@@ -703,6 +752,18 @@ impl MacroGroup {
             for (vj, &xi) in v_mat.row_mut(b).iter_mut().zip(x) {
                 *vj = dac.convert(xi / *x_max);
             }
+        }
+        // The batch path reads conductances directly (no `row_currents`), so
+        // the macro itself accounts for the per-driven-row analog events:
+        // each nonzero batch row drives the DACs once, settles every plane,
+        // reads every cell of every plane, and converts rows × pairs ADCs.
+        #[cfg(feature = "telemetry")]
+        {
+            let driven = x_maxes.iter().filter(|&&m| m != 0.0).count() as u64;
+            self.telemetry.add_dac_drives(driven * cols as u64);
+            self.telemetry.add_settle_events(driven * nplanes as u64);
+            self.telemetry.add_read_cycles_mvm(driven * (nplanes * rows * cols) as u64);
+            self.telemetry.add_adc_conversions(driven * (rows * (nplanes / 2)) as u64);
         }
         // Plane drives are independent analog events: fan them out over
         // scoped threads (serial and in order when the feature is off or
@@ -874,6 +935,9 @@ impl MacroGroup {
         if active.is_empty() {
             return Ok(xs.into_iter().map(|x| x.expect("all columns zero")).collect());
         }
+        // One DAC drive per element of every active injection column.
+        #[cfg(feature = "telemetry")]
+        self.telemetry.add_dac_drives((active.len() * n) as u64);
 
         // One noisy conductance read shared by the whole batch (the
         // mvm_batch contract: the array state cannot change mid-batch).
@@ -903,6 +967,13 @@ impl MacroGroup {
             if active.is_empty() {
                 break;
             }
+            // Every ranging attempt settles the feedback loop once per
+            // still-active column, biasing both planes of the region.
+            #[cfg(feature = "telemetry")]
+            {
+                self.telemetry.add_solve_settles(active.len() as u64);
+                self.telemetry.add_read_cycles_solve((active.len() * 2 * n * n) as u64);
+            }
             let mut rhs = Matrix::zeros(dc_op.dim(), active.len());
             for (k, &ci) in active.iter().enumerate() {
                 for (&src, &qb) in topo.input_sources.iter().zip(&quantized[ci]) {
@@ -931,6 +1002,8 @@ impl MacroGroup {
                     alphas[ci] *= 0.5;
                     railed.push(ci);
                 } else {
+                    #[cfg(feature = "telemetry")]
+                    self.telemetry.add_adc_conversions(n as u64);
                     xs[ci] = Some(
                         volts
                             .iter()
@@ -992,6 +1065,8 @@ impl MacroGroup {
         let mut alpha = self.config.v_read / b_max;
         let quantized_b: Vec<f64> =
             b.iter().map(|&bi| dac.convert(bi / b_max) / self.config.v_read).collect();
+        #[cfg(feature = "telemetry")]
+        self.telemetry.add_dac_drives(b.len() as u64);
         let i_b: Vec<f64> = quantized_b.iter().map(|&qb| -c * alpha * b_max * qb).collect();
         let mut topo =
             topology::build_pinv(&g_pos, &g_neg, &i_b, g_f, model).map_err(CoreError::from)?;
@@ -1003,6 +1078,13 @@ impl MacroGroup {
         let dc_op = DcOperator::new(&topo.circuit).map_err(CoreError::from)?;
         let mut x = Vec::new();
         for _attempt in 0..8 {
+            // One feedback-loop settle per ranging attempt, reading both
+            // planes of the full region.
+            #[cfg(feature = "telemetry")]
+            {
+                self.telemetry.add_solve_settles(1);
+                self.telemetry.add_read_cycles_solve((2 * b.len() * cols) as u64);
+            }
             for (&src, &qb) in topo.input_sources.iter().zip(&quantized_b) {
                 topo.circuit.set_current(src, -c * alpha * b_max * qb);
             }
@@ -1013,6 +1095,8 @@ impl MacroGroup {
                 alpha *= 0.5;
                 continue;
             }
+            #[cfg(feature = "telemetry")]
+            self.telemetry.add_adc_conversions(cols as u64);
             x = volts.iter().map(|&vx| adc.convert(vx) * adc.v_ref() / alpha).collect();
             break;
         }
@@ -1140,6 +1224,14 @@ impl MacroGroup {
         let Some((u, iterations, lambda_level)) = chosen else {
             return Err(CoreError::EgvNoConvergence { iterations: 2000 });
         };
+        // Every loop iteration is one analog settle of the feedback loop
+        // reading both planes; the settled mode is captured once per row.
+        #[cfg(feature = "telemetry")]
+        {
+            self.telemetry.add_solve_settles(iterations as u64);
+            self.telemetry.add_read_cycles_solve((iterations * 2 * n * n) as u64);
+            self.telemetry.add_adc_conversions(n as u64);
+        }
 
         // ADC capture and normalization.
         let adc = self.macros[planes[0].macro_id].adc;

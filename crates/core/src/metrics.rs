@@ -97,6 +97,28 @@ impl AnalogCostModel {
             energy: cells * pulses_per_cell * self.write_pulse_energy,
         }
     }
+
+    /// Folds *measured* hardware counters through the model: the analytic
+    /// per-event constants priced against what the simulated hardware
+    /// actually did, instead of the idealized per-op shapes above.
+    ///
+    /// Latency sums settling and write intervals (MVM settles, solve
+    /// settles, 30 ns write pulses); energy sums converter events plus the
+    /// array bias energy of every cell-read cycle over its settling window.
+    #[cfg(feature = "telemetry")]
+    pub fn attribute(&self, hw: &gramc_telemetry::HwSnapshot) -> Cost {
+        let pulse_width = 30e-9;
+        Cost {
+            latency: hw.settle_events as f64 * self.mvm_settle
+                + hw.solve_settles as f64 * self.solve_settle
+                + hw.write_pulses as f64 * pulse_width,
+            energy: hw.dac_drives as f64 * self.dac_energy
+                + hw.adc_conversions as f64 * self.adc_energy()
+                + hw.write_pulses as f64 * self.write_pulse_energy
+                + hw.read_cycles_mvm as f64 * self.cell_read_power * self.mvm_settle
+                + hw.read_cycles_solve as f64 * self.cell_read_power * self.solve_settle,
+        }
+    }
 }
 
 /// Cost model for the digital baseline.
@@ -190,6 +212,31 @@ mod tests {
         let c = m.program(128, 20.0);
         let cells = 2.0 * 128.0 * 128.0;
         assert!((c.energy - cells * 20.0 * m.write_pulse_energy).abs() < 1e-18);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn attribution_matches_hand_computation() {
+        let m = AnalogCostModel::default();
+        let hw = gramc_telemetry::HwSnapshot {
+            dac_drives: 10,
+            adc_conversions: 20,
+            settle_events: 3,
+            solve_settles: 2,
+            write_pulses: 5,
+            read_cycles_mvm: 100,
+            read_cycles_solve: 200,
+            ..Default::default()
+        };
+        let c = m.attribute(&hw);
+        let want_latency = 3.0 * m.mvm_settle + 2.0 * m.solve_settle + 5.0 * 30e-9;
+        let want_energy = 10.0 * m.dac_energy
+            + 20.0 * m.adc_fom * 1024.0
+            + 5.0 * m.write_pulse_energy
+            + 100.0 * m.cell_read_power * m.mvm_settle
+            + 200.0 * m.cell_read_power * m.solve_settle;
+        assert!((c.latency - want_latency).abs() < 1e-18, "latency {}", c.latency);
+        assert!((c.energy - want_energy).abs() < 1e-18, "energy {}", c.energy);
     }
 
     #[test]

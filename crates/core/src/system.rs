@@ -9,6 +9,10 @@
 //! them.
 
 use gramc_linalg::Matrix;
+#[cfg(feature = "telemetry")]
+use gramc_telemetry::HwSnapshot;
+#[cfg(feature = "telemetry")]
+use std::collections::BTreeMap;
 
 use crate::amc_macro::{MacroConfig, MacroGroup, OperatorId};
 use crate::error::CoreError;
@@ -77,6 +81,10 @@ pub struct GramcSystem {
     flags: FlagRegister,
     slots: [Option<OperatorId>; OPERATOR_SLOTS],
     stats: RunStats,
+    /// Hardware events attributed to the instruction mnemonic that caused
+    /// them (accumulated since the last `load_program`).
+    #[cfg(feature = "telemetry")]
+    instr_hw: BTreeMap<&'static str, HwSnapshot>,
 }
 
 impl GramcSystem {
@@ -101,6 +109,8 @@ impl GramcSystem {
             flags: FlagRegister::default(),
             slots: [None; OPERATOR_SLOTS],
             stats: RunStats::default(),
+            #[cfg(feature = "telemetry")]
+            instr_hw: BTreeMap::new(),
         }
     }
 
@@ -143,6 +153,16 @@ impl GramcSystem {
         self.pc = 0;
         self.flags = FlagRegister::default();
         self.stats = RunStats::default();
+        #[cfg(feature = "telemetry")]
+        self.instr_hw.clear();
+    }
+
+    /// Hardware counter deltas attributed per instruction mnemonic since
+    /// the last [`load_program`](Self::load_program): which instructions
+    /// drove the DACs, settled the arrays, burned write pulses.
+    #[cfg(feature = "telemetry")]
+    pub fn instruction_telemetry(&self) -> &BTreeMap<&'static str, HwSnapshot> {
+        &self.instr_hw
     }
 
     /// Writes words into the global buffer.
@@ -243,6 +263,8 @@ impl GramcSystem {
         })?;
         self.pc += 1;
         self.stats.instructions += 1;
+        #[cfg(feature = "telemetry")]
+        let hw_before = self.group.hw_snapshot();
 
         match inst {
             Instruction::Nop => {}
@@ -377,7 +399,39 @@ impl GramcSystem {
                 }
             }
         }
+        #[cfg(feature = "telemetry")]
+        {
+            let delta = self.group.hw_snapshot().since(&hw_before);
+            if !delta.is_zero() {
+                *self.instr_hw.entry(Self::mnemonic(&inst)).or_default() += &delta;
+            }
+        }
         Ok(!self.flags.halted)
+    }
+
+    /// Attribution key for one decoded instruction.
+    #[cfg(feature = "telemetry")]
+    fn mnemonic(inst: &Instruction) -> &'static str {
+        match inst {
+            Instruction::Nop => "nop",
+            Instruction::Halt => "halt",
+            Instruction::Configure { .. } => "configure",
+            Instruction::LoadMatrix { .. } => "load_matrix",
+            Instruction::LoadMatrixSliced { .. } => "load_matrix_sliced",
+            Instruction::FreeMatrix { .. } => "free_matrix",
+            Instruction::Mvm { .. } => "mvm",
+            Instruction::MvmBatch { .. } => "mvm_batch",
+            Instruction::SolveInv { .. } => "solve_inv",
+            Instruction::SolvePinv { .. } => "solve_pinv",
+            Instruction::SolveEgv { .. } => "solve_egv",
+            Instruction::Pool { .. } => "pool",
+            Instruction::Activate { .. } => "activate",
+            Instruction::Softmax { .. } => "softmax",
+            Instruction::Copy { .. } => "copy",
+            Instruction::Jump { .. } => "jump",
+            Instruction::BranchIfLess { .. } => "branch_if_less",
+            Instruction::LoopDec { .. } => "loop_dec",
+        }
     }
 
     fn replace_slot(&mut self, slot: u8, id: OperatorId) -> Result<(), CoreError> {

@@ -86,6 +86,15 @@ impl GramcLenet {
         }
     }
 
+    /// A point-in-time copy of the backend's accumulated hardware counters
+    /// (every analog event of every inference since construction). Diff two
+    /// snapshots with [`HwSnapshot::since`](gramc_core::HwSnapshot::since)
+    /// to meter one workload.
+    #[cfg(feature = "telemetry")]
+    pub fn hw_snapshot(&self) -> gramc_core::HwSnapshot {
+        self.group.hw_snapshot()
+    }
+
     /// Computes logits for a batch of images through the **per-image**
     /// analog pipeline: one im2col batch and one analog drive per image.
     ///

@@ -97,3 +97,38 @@ fn streamed_allocation_count_does_not_scale_with_batch_size() {
         "allocation count scales with batch size: {c4} allocs for 4 images, {c8} for 8"
     );
 }
+
+/// The hardware counters meter every analog event of the stream while
+/// costing nothing on the hot path: two identical counted runs must
+/// advance the counters by the same (nonzero) delta and spend exactly the
+/// same number of heap allocations — relaxed atomic increments, no boxing,
+/// no logging.
+#[cfg(feature = "telemetry")]
+#[test]
+fn telemetry_meters_the_stream_without_allocating() {
+    let config =
+        MacroConfig { nonideal: NonidealityConfig::quantization_only(4), ..MacroConfig::default() };
+    let model = LeNet5::new(&mut seeded_rng(7));
+    let mut backend = GramcLenet::new(model, Precision::Int4, config, 16, 11).unwrap();
+    let images = random_images(4, 29);
+    backend.logits_matrix(&images).unwrap(); // steady-state the scratch
+
+    let before = backend.hw_snapshot();
+    let ((), c_a) = counted(|| {
+        gramc_linalg::parallel::with_thread_cap(1, || {
+            backend.logits_matrix(&images).unwrap();
+        })
+    });
+    let mid = backend.hw_snapshot();
+    let ((), c_b) = counted(|| {
+        gramc_linalg::parallel::with_thread_cap(1, || {
+            backend.logits_matrix(&images).unwrap();
+        })
+    });
+    let after = backend.hw_snapshot();
+
+    let (d1, d2) = (mid.since(&before), after.since(&mid));
+    assert!(d1.dac_drives > 0 && d1.adc_conversions > 0, "the stream was metered");
+    assert_eq!(d1, d2, "identical runs must meter identically");
+    assert_eq!(c_a, c_b, "metering must not add a single allocation");
+}

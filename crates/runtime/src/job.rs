@@ -191,4 +191,8 @@ pub(crate) struct Job {
     pub kind: JobKind,
     pub slots: Vec<Arc<Slot>>,
     pub retries: u32,
+    /// Enqueue timestamp feeding the serving histograms (a re-dispatched
+    /// job restarts the clock; its measured latency is per dispatch).
+    #[cfg(feature = "telemetry")]
+    pub submitted: Instant,
 }

@@ -108,6 +108,33 @@
 //! [`FaultPlan`](gramc_core::FaultPlan) on one shard's macros; an all-zero
 //! [`FaultConfig`] is bit-identical to the feature being off.
 //!
+//! ## Observability
+//!
+//! With the `telemetry` feature (on by default) the runtime meters itself
+//! without perturbing results — counters never touch the RNG or the math,
+//! so a telemetered run is bit-identical to a `--no-default-features
+//! --features parallel` build. Four surfaces:
+//!
+//! * **Hardware counters** — every analog event (DAC drives, ADC
+//!   conversions, settles, write pulses, cell read/write cycles,
+//!   snapshot-cache hits/misses) is counted by relaxed atomics inside
+//!   `CrossbarArray` and `MacroGroup` and attributed per job kind by
+//!   snapshot-diffing under the shard lock. [`Runtime::hw_snapshot`] sums
+//!   all shards; [`RunSummary::hw`] carries one drain's delta.
+//! * **Energy/latency attribution** — [`RunSummary::analog_cost`] and
+//!   [`MetricsSnapshot::analog_cost`] fold the measured counters through
+//!   `gramc_core::metrics::AnalogCostModel`, reporting modeled joules and
+//!   analog seconds alongside wall-clock time.
+//! * **Serving metrics** — [`Runtime::metrics_snapshot`] returns
+//!   submit→dispatch→complete latency histograms (log-bucketed, lock-free;
+//!   p50/p90/p99/max), the queue-depth high-water mark and per-shard
+//!   steal/retry/requeue/quarantine counters;
+//!   [`MetricsSnapshot::to_json`] serializes the lot.
+//! * **Event journal** — submit/coalesce instants, per-job dispatch spans,
+//!   probe spans and health events land in a bounded preallocated ring;
+//!   [`Runtime::journal_chrome_trace`] exports it for chrome://tracing or
+//!   Perfetto.
+//!
 //! ## Relation to `GramcSystem`
 //!
 //! [`GramcSystem`](gramc_core::system::GramcSystem) remains the paper's
@@ -123,6 +150,8 @@ mod health;
 mod job;
 mod registry;
 mod runtime;
+#[cfg(feature = "telemetry")]
+mod telemetry;
 mod tiling;
 
 pub use error::RuntimeError;
@@ -133,6 +162,14 @@ pub use runtime::{QueuePolicy, RunSummary, Runtime};
 pub use tiling::ShardedTiledOperator;
 
 pub use gramc_core::{ProbeReport, ProgramOutcome};
+
+#[cfg(feature = "telemetry")]
+pub use telemetry::{KindMetrics, MetricsSnapshot, ShardMetrics};
+
+#[cfg(feature = "telemetry")]
+pub use gramc_telemetry::{
+    EventJournal, HistogramSnapshot, HwCounters, HwSnapshot, JournalEvent, LatencyHistogram,
+};
 
 #[cfg(feature = "fault-inject")]
 pub use gramc_core::{FaultConfig, FaultKind, FaultPlan};

@@ -11,11 +11,15 @@ use gramc_core::tiling::TileMapping;
 use gramc_core::FaultConfig;
 use gramc_core::{CoreError, MacroConfig, MacroGroup, ProbeReport};
 use gramc_linalg::{lu, vector, Matrix};
+#[cfg(feature = "telemetry")]
+use gramc_telemetry::HwSnapshot;
 
 use crate::error::RuntimeError;
 use crate::health::{HealthConfig, HealthEvent, ShardHealth};
 use crate::job::{Job, JobHandle, JobKind, JobOutput, Slot};
 use crate::registry::{ExecTarget, FreeTarget, OperatorHandle, Placement, Registry};
+#[cfg(feature = "telemetry")]
+use crate::telemetry::{kind_index, kind_span_name, MetricsSnapshot, RtTelemetry};
 
 /// Where submitted jobs are enqueued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +55,21 @@ pub struct RunSummary {
     /// migrations, degradations, failed loads) in the order they happened.
     /// Probes between drains report here too.
     pub events: Vec<HealthEvent>,
+    /// Hardware events this drain's job bodies caused (snapshot-diffed
+    /// under each shard's group lock, so the attribution is exact).
+    #[cfg(feature = "telemetry")]
+    pub hw: HwSnapshot,
+}
+
+#[cfg(feature = "telemetry")]
+impl RunSummary {
+    /// Modeled analog latency/energy of this drain's hardware events.
+    pub fn analog_cost(
+        &self,
+        model: &gramc_core::metrics::AnalogCostModel,
+    ) -> gramc_core::metrics::Cost {
+        model.attribute(&self.hw)
+    }
 }
 
 /// One shard: an independent macro group plus its ticket counters.
@@ -119,6 +138,8 @@ pub struct Runtime {
     events: Mutex<Vec<HealthEvent>>,
     failed_checks: AtomicUsize,
     degraded: AtomicUsize,
+    #[cfg(feature = "telemetry")]
+    telemetry: RtTelemetry,
 }
 
 impl Runtime {
@@ -175,6 +196,8 @@ impl Runtime {
             events: Mutex::new(Vec::new()),
             failed_checks: AtomicUsize::new(0),
             degraded: AtomicUsize::new(0),
+            #[cfg(feature = "telemetry")]
+            telemetry: RtTelemetry::new(shards),
         }
     }
 
@@ -266,8 +289,23 @@ impl Runtime {
         };
         let mut queue = self.queues[q].lock().expect("queue lock");
         let ticket = self.shards[shard].next_ticket.fetch_add(1, Ordering::SeqCst);
-        self.remaining.fetch_add(1, Ordering::SeqCst);
-        queue.push_back(Job { shard, ticket, kind, slots, retries });
+        let prev_depth = self.remaining.fetch_add(1, Ordering::SeqCst);
+        #[cfg(feature = "telemetry")]
+        {
+            self.telemetry.queue_depth_max.fetch_max(prev_depth + 1, Ordering::Relaxed);
+            self.telemetry.journal.instant("submit", "runtime", shard as u64, ticket);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = prev_depth;
+        queue.push_back(Job {
+            shard,
+            ticket,
+            kind,
+            slots,
+            retries,
+            #[cfg(feature = "telemetry")]
+            submitted: std::time::Instant::now(),
+        });
     }
 
     /// Rejects `NaN`/`±inf` inputs at submission time (mirroring the shape
@@ -336,6 +374,15 @@ impl Runtime {
         entry.slots.push(jh.slot.clone());
         if opens_batch {
             self.enqueue(shard, JobKind::MvmMany { handle: op }, Vec::new());
+        } else {
+            // Joined an already-open batch: no new job, just one more rider.
+            #[cfg(feature = "telemetry")]
+            self.telemetry.journal.instant(
+                "coalesce",
+                "runtime",
+                shard as u64,
+                entry.xs.len() as u64,
+            );
         }
         Ok(jh)
     }
@@ -522,6 +569,8 @@ impl Runtime {
         let stolen_before = self.stolen.load(Ordering::SeqCst);
         let failed_before = self.failed_checks.load(Ordering::SeqCst);
         let degraded_before = self.degraded.load(Ordering::SeqCst);
+        #[cfg(feature = "telemetry")]
+        let hw_before = self.telemetry.kind_hw_total();
         self.drain();
         let per_worker: Vec<usize> = self
             .executed
@@ -536,7 +585,41 @@ impl Runtime {
             failed_checks: self.failed_checks.load(Ordering::SeqCst) - failed_before,
             degraded: self.degraded.load(Ordering::SeqCst) - degraded_before,
             events: std::mem::take(&mut *self.events.lock().expect("events lock")),
+            #[cfg(feature = "telemetry")]
+            hw: self.telemetry.kind_hw_total().since(&hw_before),
         }
+    }
+
+    // ── telemetry ─────────────────────────────────────────────────────
+
+    /// A consistent cut of the serving metrics: lifecycle latency
+    /// histograms, the queue-depth high-water mark, per-shard scheduler
+    /// counters and per-job-kind hardware attribution. Cheap (atomic
+    /// loads); callable at any time, including between drains.
+    #[cfg(feature = "telemetry")]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::capture(&self.telemetry)
+    }
+
+    /// Total hardware counters summed across every shard's macro group.
+    /// Unlike the per-kind attribution in [`metrics_snapshot`]
+    /// (Self::metrics_snapshot), this includes work driven through
+    /// [`shard_group`](Self::shard_group) directly. Briefly locks each
+    /// group in turn — do not call while holding a shard group guard.
+    #[cfg(feature = "telemetry")]
+    pub fn hw_snapshot(&self) -> HwSnapshot {
+        let mut total = HwSnapshot::default();
+        for s in &self.shards {
+            total += &s.group.lock().expect("shard lock").hw_snapshot();
+        }
+        total
+    }
+
+    /// The event journal (job spans, coalesce/submit instants, health
+    /// events) exported in chrome://tracing trace-event JSON.
+    #[cfg(feature = "telemetry")]
+    pub fn journal_chrome_trace(&self) -> String {
+        self.telemetry.journal.to_chrome_trace()
     }
 
     #[cfg(feature = "parallel")]
@@ -604,6 +687,8 @@ impl Runtime {
             if let Some(idx) = queue.iter().rposition(|job| self.is_due(job)) {
                 let job = queue.remove(idx).expect("index from rposition");
                 self.stolen.fetch_add(1, Ordering::SeqCst);
+                #[cfg(feature = "telemetry")]
+                self.telemetry.per_shard[job.shard].steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -627,12 +712,40 @@ impl Runtime {
         // slots are filled with `JobPanicked` so waiters on other threads
         // wake with an error instead of hanging; the panic itself is
         // re-raised below and propagates out of `run_all`.
+        #[cfg(feature = "telemetry")]
+        let (dispatched, span_start, kind_ix) =
+            (std::time::Instant::now(), self.telemetry.journal.now_ns(), kind_index(&job.kind));
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut group = shard.group.lock().expect("shard lock");
-            self.run_kind(&mut group, &job)
+            // Snapshot-diff under the shard lock: no other job of this
+            // shard can interleave, so the delta is exactly this job's.
+            #[cfg(feature = "telemetry")]
+            let hw_before = group.hw_snapshot();
+            let verdict = self.run_kind(&mut group, &job);
+            #[cfg(feature = "telemetry")]
+            self.telemetry.record_job(kind_ix, &group.hw_snapshot().since(&hw_before));
+            verdict
         }));
         shard.exec_ticket.store(job.ticket + 1, Ordering::SeqCst);
         self.executed[w].fetch_add(1, Ordering::SeqCst);
+        #[cfg(feature = "telemetry")]
+        {
+            let completed = std::time::Instant::now();
+            let t = &self.telemetry;
+            t.submit_to_dispatch
+                .record_ns(dispatched.duration_since(job.submitted).as_nanos() as u64);
+            t.dispatch_to_complete
+                .record_ns(completed.duration_since(dispatched).as_nanos() as u64);
+            t.submit_to_complete
+                .record_ns(completed.duration_since(job.submitted).as_nanos() as u64);
+            t.journal.span(
+                kind_span_name(kind_ix),
+                "runtime",
+                span_start,
+                job.shard as u64,
+                job.ticket,
+            );
+        }
         // Recovery runs here, after the group lock is released — healing
         // locks other shards' groups and must never do so while holding
         // one. `remaining` is decremented for the original job LAST, after
@@ -641,6 +754,8 @@ impl Runtime {
         match run {
             Ok(Verdict::Done) => {}
             Ok(Verdict::Requeue { to, kind, slots }) => {
+                #[cfg(feature = "telemetry")]
+                self.telemetry.per_shard[job.shard].requeues.fetch_add(1, Ordering::Relaxed);
                 self.enqueue_job(to, kind, slots, job.retries);
             }
             Ok(Verdict::Failed { kind, slots }) => {
@@ -1025,6 +1140,24 @@ impl Runtime {
     }
 
     fn push_event(&self, event: HealthEvent) {
+        #[cfg(feature = "telemetry")]
+        {
+            let (name, a, b) = match &event {
+                HealthEvent::ShardQuarantined { shard, failures } => {
+                    ("shard_quarantined", *shard as u64, u64::from(*failures))
+                }
+                HealthEvent::OperatorMigrated { from, to, .. } => {
+                    ("operator_migrated", *from as u64, *to as u64)
+                }
+                HealthEvent::OperatorDegraded { shard, .. } => {
+                    ("operator_degraded", *shard as u64, 0)
+                }
+                HealthEvent::LoadFailedVerify { shard, failed_cells, .. } => {
+                    ("load_failed_verify", *shard as u64, *failed_cells as u64)
+                }
+            };
+            self.telemetry.journal.instant(name, "health", a, b);
+        }
         self.events.lock().expect("events lock").push(event);
     }
 
@@ -1051,6 +1184,8 @@ impl Runtime {
         if retries < self.health_cfg.max_retries {
             match self.registry.lock().expect("registry lock").exec_target(op) {
                 Ok(ExecTarget::Analog { shard: home, .. }) => {
+                    #[cfg(feature = "telemetry")]
+                    self.telemetry.per_shard[shard].retries.fetch_add(1, Ordering::Relaxed);
                     self.enqueue_job(home, kind, slots, retries + 1);
                     return;
                 }
@@ -1118,6 +1253,8 @@ impl Runtime {
             }
             reg.analog_ops_on(sick)
         };
+        #[cfg(feature = "telemetry")]
+        self.telemetry.per_shard[sick].quarantines.fetch_add(1, Ordering::Relaxed);
         self.push_event(HealthEvent::ShardQuarantined { shard: sick, failures });
         for (op, old_id) in ops {
             let Ok((matrix, mapping)) =
@@ -1191,12 +1328,22 @@ impl Runtime {
         }
         let ops = self.registry.lock().expect("registry lock").analog_ops_on(shard);
         let mut reports = Vec::with_capacity(ops.len());
+        #[cfg(feature = "telemetry")]
+        let probe_start = self.telemetry.journal.now_ns();
         {
             let group = self.shards[shard].group.lock().expect("shard lock");
             for (op, id) in ops {
                 reports.push((op, group.health_probe(id, 0.5)?));
             }
         }
+        #[cfg(feature = "telemetry")]
+        self.telemetry.journal.span(
+            "probe",
+            "health",
+            probe_start,
+            shard as u64,
+            reports.len() as u64,
+        );
         for (_, report) in &reports {
             if report.residual > self.health_cfg.probe_residual_tolerance {
                 self.note_failure(shard);

@@ -1,0 +1,320 @@
+//! Serving telemetry for the sharded runtime (the `telemetry` feature):
+//! latency histograms over the job lifecycle, a queue-depth gauge,
+//! per-shard scheduler counters, per-job-kind hardware attribution and the
+//! structured event journal.
+//!
+//! Everything here observes; nothing feeds back. Counters are relaxed
+//! atomics, histograms are lock-free, and the journal ring is preallocated,
+//! so the instrumented scheduler paths stay allocation-free and results
+//! stay bit-identical to the untelemetered build.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use gramc_core::metrics::{AnalogCostModel, Cost};
+use gramc_telemetry::{EventJournal, HistogramSnapshot, HwCounters, HwSnapshot, LatencyHistogram};
+
+use crate::job::JobKind;
+
+/// Stable display/index order of the job kinds.
+pub(crate) const KIND_NAMES: [&str; 7] =
+    ["mvm_many", "mvm_set", "mvm_batch", "solve_inv", "solve_inv_batch", "load", "free"];
+
+/// Index of a job kind in [`KIND_NAMES`] / the per-kind aggregates.
+pub(crate) fn kind_index(kind: &JobKind) -> usize {
+    match kind {
+        JobKind::MvmMany { .. } => 0,
+        JobKind::MvmSet { .. } => 1,
+        JobKind::MvmBatch { .. } => 2,
+        JobKind::SolveInv { .. } => 3,
+        JobKind::SolveInvBatch { .. } => 4,
+        JobKind::Load { .. } => 5,
+        JobKind::Free { .. } => 6,
+    }
+}
+
+/// Journal span name of a job kind (static, so recording never allocates).
+pub(crate) fn kind_span_name(ix: usize) -> &'static str {
+    match ix {
+        0 => "job:mvm_many",
+        1 => "job:mvm_set",
+        2 => "job:mvm_batch",
+        3 => "job:solve_inv",
+        4 => "job:solve_inv_batch",
+        5 => "job:load",
+        _ => "job:free",
+    }
+}
+
+/// Scheduler counters of one shard.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    /// Jobs of this shard executed by a thief worker.
+    pub steals: AtomicU64,
+    /// Failed-check re-dispatches of this shard's jobs.
+    pub retries: AtomicU64,
+    /// Migration bounces (job re-enqueued toward its operator's new home).
+    pub requeues: AtomicU64,
+    /// Times this shard was quarantined.
+    pub quarantines: AtomicU64,
+}
+
+/// Per-job-kind aggregate: dispatch count plus the hardware events the
+/// kind's job bodies caused (snapshot-diffed under the shard lock).
+#[derive(Debug, Default)]
+pub(crate) struct KindAgg {
+    pub jobs: AtomicU64,
+    pub hw: HwCounters,
+}
+
+/// The runtime's telemetry sink (one per [`Runtime`](crate::Runtime)).
+#[derive(Debug)]
+pub(crate) struct RtTelemetry {
+    pub submit_to_dispatch: LatencyHistogram,
+    pub dispatch_to_complete: LatencyHistogram,
+    pub submit_to_complete: LatencyHistogram,
+    /// High-water mark of jobs enqueued at once.
+    pub queue_depth_max: AtomicUsize,
+    pub per_shard: Vec<ShardCounters>,
+    pub per_kind: [KindAgg; KIND_NAMES.len()],
+    pub journal: EventJournal,
+}
+
+/// Journal capacity: enough for the serving benches' full drains while
+/// keeping the preallocated ring small (~160 KiB).
+const JOURNAL_CAPACITY: usize = 4096;
+
+impl RtTelemetry {
+    pub fn new(shards: usize) -> Self {
+        Self {
+            submit_to_dispatch: LatencyHistogram::new(),
+            dispatch_to_complete: LatencyHistogram::new(),
+            submit_to_complete: LatencyHistogram::new(),
+            queue_depth_max: AtomicUsize::new(0),
+            per_shard: (0..shards).map(|_| ShardCounters::default()).collect(),
+            per_kind: std::array::from_fn(|_| KindAgg::default()),
+            journal: EventJournal::new(JOURNAL_CAPACITY),
+        }
+    }
+
+    /// Folds one executed job into its kind's aggregate.
+    pub fn record_job(&self, kind_ix: usize, hw: &HwSnapshot) {
+        let agg = &self.per_kind[kind_ix];
+        agg.jobs.fetch_add(1, Ordering::Relaxed);
+        agg.hw.add_snapshot(hw);
+    }
+
+    /// Sum of every kind's attributed hardware events — i.e. everything the
+    /// job bodies did (direct `shard_group()` use is not included).
+    pub fn kind_hw_total(&self) -> HwSnapshot {
+        let mut total = HwSnapshot::default();
+        for agg in &self.per_kind {
+            total += &agg.hw.snapshot();
+        }
+        total
+    }
+}
+
+/// Point-in-time copy of one shard's scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardMetrics {
+    /// Jobs of this shard executed by a thief worker.
+    pub steals: u64,
+    /// Failed-check re-dispatches of this shard's jobs.
+    pub retries: u64,
+    /// Migration bounces of this shard's jobs.
+    pub requeues: u64,
+    /// Times this shard was quarantined.
+    pub quarantines: u64,
+}
+
+/// Point-in-time copy of one job kind's aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindMetrics {
+    /// Job kind name (stable, snake_case).
+    pub kind: &'static str,
+    /// Jobs of this kind executed.
+    pub jobs: u64,
+    /// Hardware events attributed to this kind's job bodies.
+    pub hw: HwSnapshot,
+}
+
+impl KindMetrics {
+    /// Modeled analog latency/energy of this kind's hardware events.
+    pub fn analog_cost(&self, model: &AnalogCostModel) -> Cost {
+        model.attribute(&self.hw)
+    }
+}
+
+/// A consistent cut of the runtime's serving metrics
+/// ([`Runtime::metrics_snapshot`](crate::Runtime::metrics_snapshot)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Submission → job execution start.
+    pub submit_to_dispatch: HistogramSnapshot,
+    /// Execution start → result slots filled.
+    pub dispatch_to_complete: HistogramSnapshot,
+    /// Submission → result slots filled (the serving latency).
+    pub submit_to_complete: HistogramSnapshot,
+    /// High-water mark of jobs enqueued at once.
+    pub queue_depth_max: usize,
+    /// Scheduler counters per shard.
+    pub shards: Vec<ShardMetrics>,
+    /// Per-job-kind dispatch counts and hardware attribution.
+    pub kinds: Vec<KindMetrics>,
+    /// Sum of every kind's hardware events.
+    pub hw_total: HwSnapshot,
+    /// Events currently held in the journal.
+    pub journal_len: usize,
+    /// Journal events evicted to make room since creation.
+    pub journal_overwritten: u64,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn capture(t: &RtTelemetry) -> Self {
+        let shards = t
+            .per_shard
+            .iter()
+            .map(|s| ShardMetrics {
+                steals: s.steals.load(Ordering::Relaxed),
+                retries: s.retries.load(Ordering::Relaxed),
+                requeues: s.requeues.load(Ordering::Relaxed),
+                quarantines: s.quarantines.load(Ordering::Relaxed),
+            })
+            .collect();
+        let kinds = KIND_NAMES
+            .iter()
+            .zip(&t.per_kind)
+            .map(|(&kind, agg)| KindMetrics {
+                kind,
+                jobs: agg.jobs.load(Ordering::Relaxed),
+                hw: agg.hw.snapshot(),
+            })
+            .collect();
+        Self {
+            submit_to_dispatch: t.submit_to_dispatch.snapshot(),
+            dispatch_to_complete: t.dispatch_to_complete.snapshot(),
+            submit_to_complete: t.submit_to_complete.snapshot(),
+            queue_depth_max: t.queue_depth_max.load(Ordering::Relaxed),
+            shards,
+            kinds,
+            hw_total: t.kind_hw_total(),
+            journal_len: t.journal.len(),
+            journal_overwritten: t.journal.overwritten(),
+        }
+    }
+
+    /// Modeled analog latency/energy of everything the job bodies did.
+    pub fn analog_cost(&self, model: &AnalogCostModel) -> Cost {
+        model.attribute(&self.hw_total)
+    }
+
+    /// Serializes the snapshot as a self-contained JSON object (hand-rolled
+    /// — the workspace has no serde). Hardware counters are priced through
+    /// the default [`AnalogCostModel`]; histograms report count, mean and
+    /// the p50/p90/p99/max ladder in nanoseconds.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let model = AnalogCostModel::default();
+        let hist = |h: &HistogramSnapshot| {
+            format!(
+                "{{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {}}}",
+                h.count,
+                h.mean_ns(),
+                h.p50_ns(),
+                h.p90_ns(),
+                h.p99_ns(),
+                h.max_ns
+            )
+        };
+        let hw_json = |hw: &HwSnapshot| {
+            let mut s = String::from("{");
+            for (i, (name, v)) in hw.fields().iter().enumerate() {
+                let comma = if i + 1 < gramc_telemetry::HW_FIELDS { ", " } else { "" };
+                let _ = write!(s, "\"{name}\": {v}{comma}");
+            }
+            s.push('}');
+            s
+        };
+        let cost_json = |hw: &HwSnapshot| {
+            let c = model.attribute(hw);
+            format!("{{\"latency_s\": {:e}, \"energy_j\": {:e}}}", c.latency, c.energy)
+        };
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"submit_to_dispatch\": {},", hist(&self.submit_to_dispatch));
+        let _ = writeln!(out, "  \"dispatch_to_complete\": {},", hist(&self.dispatch_to_complete));
+        let _ = writeln!(out, "  \"submit_to_complete\": {},", hist(&self.submit_to_complete));
+        let _ = writeln!(out, "  \"queue_depth_max\": {},", self.queue_depth_max);
+        out.push_str("  \"shards\": [\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            let comma = if i + 1 < self.shards.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"steals\": {}, \"retries\": {}, \"requeues\": {}, \
+                 \"quarantines\": {}}}{}",
+                s.steals, s.retries, s.requeues, s.quarantines, comma
+            );
+        }
+        out.push_str("  ],\n  \"kinds\": {\n");
+        for (i, k) in self.kinds.iter().enumerate() {
+            let comma = if i + 1 < self.kinds.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"jobs\": {}, \"hw\": {}, \"modeled\": {}}}{}",
+                k.kind,
+                k.jobs,
+                hw_json(&k.hw),
+                cost_json(&k.hw),
+                comma
+            );
+        }
+        out.push_str("  },\n");
+        let _ = writeln!(out, "  \"hw_total\": {},", hw_json(&self.hw_total));
+        let _ = writeln!(out, "  \"modeled_total\": {},", cost_json(&self.hw_total));
+        let _ = writeln!(
+            out,
+            "  \"journal\": {{\"len\": {}, \"overwritten\": {}}}",
+            self.journal_len, self.journal_overwritten
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_match_names() {
+        use crate::registry::OperatorHandle;
+        let h = OperatorHandle(0);
+        assert_eq!(kind_index(&JobKind::MvmMany { handle: h }), 0);
+        assert_eq!(kind_index(&JobKind::Free { handle: h }), 6);
+        assert_eq!(KIND_NAMES[0], "mvm_many");
+        assert_eq!(KIND_NAMES[6], "free");
+        for i in 0..KIND_NAMES.len() {
+            assert!(kind_span_name(i).ends_with(KIND_NAMES[i]));
+        }
+    }
+
+    #[test]
+    fn snapshot_json_is_balanced_and_priced() {
+        let t = RtTelemetry::new(2);
+        t.submit_to_dispatch.record_ns(1_000);
+        t.dispatch_to_complete.record_ns(2_000);
+        t.submit_to_complete.record_ns(3_000);
+        let hw = HwSnapshot { dac_drives: 8, adc_conversions: 8, ..Default::default() };
+        t.record_job(2, &hw);
+        let snap = MetricsSnapshot::capture(&t);
+        assert_eq!(snap.kinds[2].jobs, 1);
+        assert_eq!(snap.hw_total.dac_drives, 8);
+        assert!(snap.analog_cost(&AnalogCostModel::default()).energy > 0.0);
+        let json = snap.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"submit_to_complete\""));
+        assert!(json.contains("\"mvm_batch\""));
+        assert!(json.contains("\"energy_j\""));
+    }
+}

@@ -214,6 +214,37 @@ fn unverifiable_load_fails_typed_after_bounded_retries() {
     assert_eq!(rt.live_operators_per_shard(), vec![0], "failed load leaves nothing behind");
 }
 
+/// The metered flavor of the bounded-retry contract above: each of the
+/// three programming attempts (initial + `max_retries`) blind-writes both
+/// conductance planes of the 4×4 region, so the "load" job-kind must
+/// attribute exactly 3 · 2 · 16 write cycles and pulses — one failing job,
+/// fully accounted, with no converter or read activity.
+#[cfg(feature = "telemetry")]
+#[test]
+fn failed_load_retries_are_metered_exactly() {
+    let health =
+        HealthConfig { max_load_failure_frac: 0.01, quarantine_after: 100, ..serving_health() };
+    let rt = Runtime::new(1, 4, MacroConfig::small_ideal(4), 45).with_health_config(health);
+    rt.inject_shard_faults(0, &FaultConfig::stuck_at(0.3), 23).unwrap();
+
+    let mut rng = random::seeded_rng(10);
+    let a = random::gaussian_matrix(&mut rng, 4, 4);
+    let err = rt.load(&a, TileMapping::FourBit, Placement::Pinned(0)).unwrap_err();
+    assert!(matches!(err, RuntimeError::ProgramVerifyFailed { .. }));
+
+    let m = rt.metrics_snapshot();
+    let load = m.kinds.iter().find(|k| k.kind == "load").expect("load kind");
+    assert_eq!(load.jobs, 1, "the retries all happen inside one load job");
+    assert_eq!(load.hw.write_cycles, 3 * 2 * 16);
+    assert_eq!(load.hw.write_pulses, 3 * 2 * 16);
+    assert_eq!(
+        load.hw.dac_drives + load.hw.adc_conversions + load.hw.settle_events,
+        0,
+        "programming drives no converters"
+    );
+    assert_eq!(m.hw_total, load.hw, "nothing but the doomed load ran");
+}
+
 /// Satellite 4 determinism contract: the `fault-inject` feature compiled
 /// in with a **zero-rate** plan installed must be bit-identical to the
 /// baseline — same seeds, pinned placement, identical RNG stream — so the

@@ -296,3 +296,86 @@ fn sharded_tiling_rolls_back_on_capacity_error() {
     assert!(ShardedTiledOperator::load(&rt, &a, TileMapping::FourBit).is_err());
     assert_eq!(rt.live_operators_per_shard(), vec![0, 0], "rollback must free all tiles");
 }
+
+// ── telemetry ─────────────────────────────────────────────────────────
+
+/// Hardware counters are a pure function of the submitted workload, never
+/// of the schedule: the same jobs pinned to shard 0 must produce bitwise
+/// equal counters, per-kind attribution and analog outputs whether the
+/// drain runs inline on the calling thread with linalg fan-out capped to
+/// one lane, or across three stealing worker threads uncapped. (Shard 0
+/// is seeded identically regardless of how many shards exist, so the two
+/// runtimes replay the same RNG stream.)
+#[cfg(feature = "telemetry")]
+#[test]
+fn hardware_counters_are_invariant_to_worker_thread_count() {
+    let config = MacroConfig::small(6);
+    let run = |shards: usize, cap: Option<usize>| {
+        let rt = Runtime::new(shards, 2, config.clone(), 31);
+        let mut rng = random::seeded_rng(77);
+        let a = random::spd_with_condition(&mut rng, 6, 4.0);
+        let op = rt.load(&a, TileMapping::FourBit, Placement::Pinned(0)).unwrap();
+        let xs: Vec<Vec<f64>> = (0..6).map(|_| random::normal_vector(&mut rng, 6)).collect();
+        let handles: Vec<_> = xs.iter().map(|x| rt.submit_mvm(op, x.clone()).unwrap()).collect();
+        let solve = rt.submit_solve_inv(op, random::normal_vector(&mut rng, 6)).unwrap();
+        match cap {
+            Some(c) => gramc_linalg::parallel::with_thread_cap(c, || rt.run_all()),
+            None => rt.run_all(),
+        };
+        let mut ys: Vec<f64> = handles.iter().flat_map(|h| h.wait_vector().unwrap()).collect();
+        ys.extend(solve.wait_vector().unwrap());
+        (rt.hw_snapshot(), rt.metrics_snapshot(), ys)
+    };
+    let (hw1, m1, ys1) = run(1, Some(1));
+    let (hw3, m3, ys3) = run(3, None);
+
+    assert_eq!(hw1, hw3, "hardware counters must not depend on worker threads");
+    assert_eq!(ys1, ys3, "analog outputs must not depend on worker threads");
+    for (k1, k3) in m1.kinds.iter().zip(&m3.kinds) {
+        assert_eq!(k1.jobs, k3.jobs, "{} job count differs", k1.kind);
+        assert_eq!(k1.hw, k3.hw, "{} attribution differs", k1.kind);
+    }
+
+    // Snapshot self-consistency: every executed job records exactly one
+    // sample in each lifecycle histogram, the per-kind attribution sums to
+    // the group totals, and the journal saw the work.
+    let jobs: u64 = m3.kinds.iter().map(|k| k.jobs).sum();
+    assert_eq!(m3.submit_to_dispatch.count, jobs);
+    assert_eq!(m3.dispatch_to_complete.count, jobs);
+    assert_eq!(m3.submit_to_complete.count, jobs);
+    let mut sum = gramc_runtime::HwSnapshot::default();
+    for k in &m3.kinds {
+        sum += &k.hw;
+    }
+    assert_eq!(sum, m3.hw_total);
+    assert_eq!(hw3, m3.hw_total, "all analog work flowed through the runtime");
+    assert!(m3.journal_len > 0, "journal must have recorded the job spans");
+    assert!(m3.queue_depth_max >= 1);
+}
+
+/// Cross-build determinism anchor: one deterministic serving trace, its
+/// outputs folded into a single checksum pinned here. CI runs this exact
+/// test with telemetry on and off (`--no-default-features`), and in the
+/// single-threaded scheduler fallback; the constant must hold in every
+/// build, proving instrumentation and scheduling never perturb a bit of
+/// the analog math. Regenerate (only after an *intentional* numerics
+/// change) by running the test and copying the reported actual value.
+#[test]
+fn analog_outputs_match_pinned_golden_checksum() {
+    let rt = Runtime::new(2, 2, MacroConfig::small(8), 64);
+    let mut rng = random::seeded_rng(55);
+    let a = random::spd_with_condition(&mut rng, 8, 6.0);
+    let op = rt.load(&a, TileMapping::FourBit, Placement::Pinned(1)).unwrap();
+    let xs: Vec<Vec<f64>> = (0..4).map(|_| random::normal_vector(&mut rng, 8)).collect();
+    let mvms: Vec<_> = xs.iter().map(|x| rt.submit_mvm(op, x.clone()).unwrap()).collect();
+    let solve = rt.submit_solve_inv(op, random::normal_vector(&mut rng, 8)).unwrap();
+    rt.run_all();
+
+    let mut acc: u64 = 0;
+    for y in mvms.iter().chain(std::iter::once(&solve)) {
+        for v in y.wait_vector().unwrap() {
+            acc = acc.rotate_left(7) ^ v.to_bits();
+        }
+    }
+    assert_eq!(acc, 0x34B7_034A_BDE4_33DF, "analog output checksum drifted across builds");
+}
