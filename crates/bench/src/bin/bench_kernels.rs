@@ -22,9 +22,10 @@
 //! ```
 
 use gramc_array::{ActiveRegion, ArrayConfig, CrossbarArray};
+use gramc_bench::loadgen;
 use gramc_bench::timing::{to_json, Reporter, Sample};
 use gramc_circuit::{dc_solve, topology, DcOperator, OpampModel};
-use gramc_core::metrics::AnalogCostModel;
+use gramc_core::metrics::{AnalogAreaModel, AnalogCostModel, CellLayout};
 use gramc_core::tiling::TileMapping;
 use gramc_core::{MacroConfig, MacroGroup, NonidealityConfig};
 use gramc_device::LevelQuantizer;
@@ -47,15 +48,52 @@ fn hw_json(hw: &HwSnapshot) -> String {
     s
 }
 
+/// JSON object pricing the benched deployment's silicon area through
+/// [`AnalogAreaModel`]: per-component mm² (crossbar / DAC / ADC) for both
+/// cell layouts — 1T1R (≈12F², transistor-limited) and the passive
+/// Stanford-PKU crosspoint (4F² density limit) — summed over `macros`
+/// identical `rows × cols` macros.
+fn area_json(macros: usize, rows: usize, cols: usize) -> String {
+    use std::fmt::Write as _;
+    let base = AnalogAreaModel::default();
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"macros\": {macros}, \"rows\": {rows}, \"cols\": {cols}, \
+         \"feature_size_nm\": {:.0}",
+        base.feature_size * 1e9
+    );
+    for (key, layout) in
+        [("cell_1t1r", CellLayout::OneTOneR), ("cell_crosspoint", CellLayout::Crosspoint)]
+    {
+        let model = AnalogAreaModel { cell_layout: layout, ..base.clone() };
+        let a = model.deployment_area(macros, rows, cols);
+        let _ = write!(
+            s,
+            ", \"{key}\": {{\"crossbar_mm2\": {:e}, \"dac_mm2\": {:e}, \
+             \"adc_mm2\": {:e}, \"total_mm2\": {:e}}}",
+            a.crossbar_mm2,
+            a.dac_mm2,
+            a.adc_mm2,
+            a.total_mm2()
+        );
+    }
+    s.push('}');
+    s
+}
+
 /// Composes and writes `TELEMETRY_report.json` next to `out_path`:
 /// free-form metadata, one runtime's serving-metrics snapshot under
-/// `runtime_label` and — in full mode — the hardware events of one
-/// streamed LeNet pass priced through the default cost model.
+/// `runtime_label`, the deployment's per-component area model
+/// (`deployment` = macros/rows/cols) and — in full mode — the hardware
+/// events of one streamed LeNet pass priced through the default cost
+/// model.
 fn write_telemetry_report(
     out_path: &str,
     meta: &[(&str, String)],
     runtime_label: &str,
     runtime: &MetricsSnapshot,
+    deployment: (usize, usize, usize),
     lenet: Option<(usize, HwSnapshot)>,
 ) {
     use std::fmt::Write as _;
@@ -71,6 +109,7 @@ fn write_telemetry_report(
     }
     out.push_str("  },\n");
     let _ = writeln!(out, "  \"{runtime_label}\": {},", runtime.to_json().trim_end());
+    let _ = writeln!(out, "  \"area\": {},", area_json(deployment.0, deployment.1, deployment.2));
     match lenet {
         Some((images, hw)) => {
             let cost = AnalogCostModel::default().attribute(&hw);
@@ -113,6 +152,95 @@ fn smoke_metrics_snapshot() -> MetricsSnapshot {
         h.wait_vector().unwrap();
     }
     rt.metrics_snapshot()
+}
+
+/// Serving observatory: a live [`RuntimeServer`](gramc_runtime::RuntimeServer)
+/// with admission control, hammered by the [`loadgen`] generators.
+///
+/// Runs one closed-loop point (two in full mode) to measure sustained
+/// capacity, then two open-loop points bracketing the saturation knee —
+/// one at half the measured capacity (queue stays shallow, latency is the
+/// service floor) and one at twice it (queue fills, admission control
+/// rejects the overflow). Each point lands in `BENCH_kernels.json` as a
+/// sample (p50 as `min_ns`, mean latency as `mean_ns`, completions as
+/// `iters`) plus p50/p99/p999/throughput/rejection meta rows.
+///
+/// Side artifacts, written next to `out_path` for CI to validate:
+/// `METRICS_serving.jsonl` (the live metrics stream a
+/// [`MetricsReporter`](gramc_runtime::MetricsReporter) recorded during the
+/// run) and `TRACE_serving.json` (the chrome://tracing journal with the
+/// queued→executing span pair of every served job).
+fn serving_observatory(
+    out_path: &str,
+    smoke: bool,
+    samples: &mut Vec<Sample>,
+    meta: &mut Vec<(String, String)>,
+) {
+    use gramc_runtime::{MetricsReporter, RuntimeServer};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let window = Duration::from_millis(if smoke { 150 } else { 400 });
+    let rt = Arc::new(Runtime::new(2, 2, MacroConfig::small_ideal(64), 6).with_queue_limit(64));
+    let dir = std::path::Path::new(out_path)
+        .parent()
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
+    let server = RuntimeServer::start(rt.clone());
+    let metrics_path = dir.join("METRICS_serving.jsonl");
+    let reporter = MetricsReporter::start(rt.clone(), &metrics_path, Duration::from_millis(25))
+        .expect("start metrics reporter");
+
+    let mut rng = random::seeded_rng(23);
+    let a = random::gaussian_matrix(&mut rng, 64, 64);
+    let (op, loaded) =
+        rt.submit_load(&a, TileMapping::FourBit, Placement::LeastLoaded).expect("load operator");
+    loaded.wait().expect("load completes under the server");
+    let x = random::normal_vector(&mut rng, 64);
+
+    println!();
+    let mut reports = vec![loadgen::closed_loop(&rt, op, &x, 2, window)];
+    if !smoke {
+        reports.push(loadgen::closed_loop(&rt, op, &x, 4, window));
+    }
+    // Open-loop rates are derived from the closed-loop capacity measured on
+    // *this* host, so the under/over pair brackets the knee everywhere from
+    // laptops to 1-core CI runners. Stable row names (not rate-suffixed)
+    // keep the report keys machine-independent; the offered rate goes to
+    // meta instead.
+    let capacity = reports[0].throughput_rps().max(50.0);
+    for (tag, frac) in [("under", 0.5), ("over", 2.0)] {
+        let rate = capacity * frac;
+        let mut rep = loadgen::open_loop(&rt, op, &x, rate, window, 2);
+        rep.name = format!("serving_open_{tag}_knee");
+        meta.push((format!("{}_offered_rps", rep.name), format!("{rate:.0}")));
+        reports.push(rep);
+    }
+    for rep in &reports {
+        println!(
+            "{}: {:.0} rps sustained, p50 {:.1} µs, p99 {:.1} µs, p999 {:.1} µs, \
+             rejected {:.1}%",
+            rep.name,
+            rep.throughput_rps(),
+            rep.latency.p50_ns() as f64 / 1e3,
+            rep.latency.p99_ns() as f64 / 1e3,
+            rep.latency.p999_ns() as f64 / 1e3,
+            100.0 * rep.rejection_rate(),
+        );
+        samples.push(rep.sample());
+        meta.extend(rep.meta());
+    }
+
+    let serve_report = server.shutdown();
+    let lines = reporter.stop().expect("stop metrics reporter");
+    let trace_path = dir.join("TRACE_serving.json");
+    std::fs::write(&trace_path, rt.journal_chrome_trace()).expect("write serving trace");
+    println!(
+        "serving observatory: {} jobs served, wrote {} ({} lines) and {}",
+        serve_report.jobs_executed,
+        metrics_path.display(),
+        lines,
+        trace_path.display(),
+    );
 }
 
 /// Fault sweep: for each stuck-cell rate, serve a fixed MVM workload on a
@@ -257,13 +385,13 @@ fn main() {
     // Smoke mode, for CI: the (feature-gated) fault sweep plus — when a
     // baseline is supplied — the machine-normalized perf regression gate.
     if smoke {
-        #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
-        let mut samples = Vec::new();
+        let mut samples: Vec<Sample> = Vec::new();
         let mut extra_meta: Vec<(String, String)> = Vec::new();
         #[cfg(feature = "fault-inject")]
         fault_sweep(&mut samples, &mut extra_meta);
         #[cfg(not(feature = "fault-inject"))]
         println!("smoke mode: built without the fault-inject feature, skipping fault sweep");
+        serving_observatory(&out_path, true, &mut samples, &mut extra_meta);
         let regressed = match &baseline_path {
             Some(p) => {
                 let baseline = std::fs::read_to_string(p).expect("read baseline json");
@@ -286,6 +414,7 @@ fn main() {
             &tmeta,
             "runtime_sharded_mvm_2",
             &smoke_metrics_snapshot(),
+            (4, 64, 64), // 2 shards × 2 macros of 64×64
             None,
         );
         if !regressed.is_empty() {
@@ -502,12 +631,15 @@ fn main() {
     }
 
     // ── fault sweep (feature-gated): accuracy + recovery latency vs rate.
-    #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
     let mut extra_samples: Vec<Sample> = Vec::new();
-    #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
     let mut extra_meta: Vec<(String, String)> = Vec::new();
     #[cfg(feature = "fault-inject")]
     fault_sweep(&mut extra_samples, &mut extra_meta);
+
+    // ── serving observatory: persistent server under closed- and open-loop
+    //    load, bracketing the saturation knee; also writes the serving
+    //    trace and live metrics stream next to the report.
+    serving_observatory(&out_path, false, &mut extra_samples, &mut extra_meta);
 
     let mut meta = vec![
         ("bench", "bench_kernels".to_string()),
@@ -548,6 +680,7 @@ fn main() {
         &tmeta,
         "runtime_sharded_mvm_4",
         &serving,
+        (8, 64, 64), // 4 shards × 2 macros of 64×64
         Some((16, lenet_hw)),
     );
 }

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
 pub mod timing;
 
 use gramc_linalg::vector;

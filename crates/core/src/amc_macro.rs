@@ -1109,6 +1109,158 @@ impl MacroGroup {
         Ok(x)
     }
 
+    /// Multi-RHS least-squares solve on the PINV configuration — the twin
+    /// of [`Self::solve_inv_batch`]. Every column of the batch shares one
+    /// conductance read and one MNA factorization
+    /// ([`DcOperator::solve_rhs_matrix`]); auto-ranging runs per column with
+    /// railed columns re-substituted together on the next attempt, so `k`
+    /// right-hand sides cost one LU factorization plus `k` substitutions.
+    ///
+    /// # Errors
+    ///
+    /// Shape/handle errors; [`CoreError::Circuit`] on singular netlists;
+    /// [`CoreError::InvalidArgument`] for bit-sliced operators. The batch is
+    /// one analog program: a column that still rails the ADC after every
+    /// ranging attempt fails the whole call (solve such columns individually
+    /// to isolate them).
+    pub fn solve_pinv_batch(
+        &mut self,
+        id: OperatorId,
+        bs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
+        let op = self.operator(id)?;
+        if op.info.planes != 2 {
+            return Err(CoreError::InvalidArgument("PINV requires a differential operator"));
+        }
+        let rows = op.info.rows;
+        let cols = op.info.cols;
+        for b in bs {
+            if b.len() != rows {
+                return Err(CoreError::ShapeMismatch { expected: rows, found: b.len() });
+            }
+        }
+        if bs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (scale, planes) = (op.info.scale, op.planes.clone());
+        self.configure_operator(id, MacroMode::Pinv)?;
+
+        let dac = self.macros[planes[0].macro_id].dac;
+        let adc = self.macros[planes[0].macro_id].adc;
+        let c = self.quantizer.step() / scale;
+
+        // Per-column injection state, scanned before the conductance read so
+        // an all-zero batch short-circuits without touching the arrays or
+        // the RNG (matching `solve_pinv` and `solve_inv_batch`).
+        let mut quantized: Vec<Vec<f64>> = Vec::with_capacity(bs.len());
+        let mut b_maxes = Vec::with_capacity(bs.len());
+        let mut alphas = Vec::with_capacity(bs.len());
+        let mut xs: Vec<Option<Vec<f64>>> = vec![None; bs.len()];
+        let mut active: Vec<usize> = Vec::new();
+        for (ci, b) in bs.iter().enumerate() {
+            let b_max = vector::norm_inf(b);
+            if b_max == 0.0 {
+                xs[ci] = Some(vec![0.0; cols]);
+                quantized.push(Vec::new());
+                b_maxes.push(0.0);
+                alphas.push(0.0);
+                continue;
+            }
+            quantized
+                .push(b.iter().map(|&bi| dac.convert(bi / b_max) / self.config.v_read).collect());
+            b_maxes.push(b_max);
+            alphas.push(self.config.v_read / b_max);
+            active.push(ci);
+        }
+        if active.is_empty() {
+            return Ok(xs.into_iter().map(|x| x.expect("all columns zero")).collect());
+        }
+        #[cfg(feature = "telemetry")]
+        self.telemetry.add_dac_drives((active.len() * rows) as u64);
+
+        // One noisy conductance read shared by the whole batch.
+        let g_pos = self.macros[planes[0].macro_id]
+            .array
+            .conductances(planes[0].region, &mut self.rng)
+            .map_err(CoreError::from)?;
+        let g_neg = self.macros[planes[1].macro_id]
+            .array
+            .conductances(planes[1].region, &mut self.rng)
+            .map_err(CoreError::from)?;
+        let g_f = c.clamp(self.quantizer.g_min(), self.quantizer.g_max());
+        let model = self.opamp_model();
+
+        // The initial source currents are overwritten per column before each
+        // substitution, so the topology builds with a zero injection.
+        let zeros = vec![0.0; rows];
+        let mut topo =
+            topology::build_pinv(&g_pos, &g_neg, &zeros, g_f, model).map_err(CoreError::from)?;
+        for (k, opamp) in topo.circuit.opamp_ids().into_iter().enumerate() {
+            let m = topo.circuit.opamp_model(opamp);
+            let off = self.macros[planes[0].macro_id].opamp_offset(k);
+            topo.circuit.set_opamp_model(opamp, m.offset(off));
+        }
+        let dc_op = DcOperator::new(&topo.circuit).map_err(CoreError::from)?;
+
+        // Ranged multi-RHS substitution through the shared LU factors.
+        for _attempt in 0..8 {
+            if active.is_empty() {
+                break;
+            }
+            #[cfg(feature = "telemetry")]
+            {
+                self.telemetry.add_solve_settles(active.len() as u64);
+                self.telemetry.add_read_cycles_solve((active.len() * 2 * rows * cols) as u64);
+            }
+            let mut rhs = Matrix::zeros(dc_op.dim(), active.len());
+            for (k, &ci) in active.iter().enumerate() {
+                for (&src, &qb) in topo.input_sources.iter().zip(&quantized[ci]) {
+                    topo.circuit.set_current(src, -c * alphas[ci] * b_maxes[ci] * qb);
+                }
+                let col = dc_op.rhs(&topo.circuit).map_err(CoreError::from)?;
+                for (i, v) in col.iter().enumerate() {
+                    rhs[(i, k)] = *v;
+                }
+            }
+            let sol = dc_op.solve_rhs_matrix(&rhs).map_err(CoreError::from)?;
+            let mut railed = Vec::new();
+            for (k, &ci) in active.iter().enumerate() {
+                let volts: Vec<f64> = topo
+                    .x_nodes
+                    .iter()
+                    .map(|node| match node.index() {
+                        0 => 0.0,
+                        i => sol[(i - 1, k)],
+                    })
+                    .collect();
+                let peak = volts.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+                if peak > 0.95 * adc.v_ref() {
+                    alphas[ci] *= 0.5;
+                    railed.push(ci);
+                } else {
+                    #[cfg(feature = "telemetry")]
+                    self.telemetry.add_adc_conversions(cols as u64);
+                    xs[ci] = Some(
+                        volts
+                            .iter()
+                            .map(|&vx| adc.convert(vx) * adc.v_ref() / alphas[ci])
+                            .collect(),
+                    );
+                }
+            }
+            active = railed;
+        }
+        if !active.is_empty() {
+            return Err(CoreError::InvalidArgument(
+                "PINV output railed the ADC at every ranging attempt",
+            ));
+        }
+        let out: Vec<Vec<f64>> =
+            xs.into_iter().map(|x| x.expect("every column solved or error returned")).collect();
+        self.macros[planes[0].macro_id].output_buffer = out.last().cloned().unwrap_or_default();
+        Ok(out)
+    }
+
     /// Dominant-eigenvector solve on the EGV configuration.
     ///
     /// The controller first estimates λ₁ digitally (power iteration on the
@@ -1561,6 +1713,39 @@ mod tests {
         assert!(vector::rel_error(&xs[1], &x_ref) < 1e-10);
         assert!(g.solve_inv_batch(op, &[vec![1.0; 3]]).is_err());
         assert!(g.solve_inv_batch(op, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn solve_pinv_batch_matches_per_column_solves() {
+        let mut g = ideal_group(2, 8, 18);
+        let mut rng = seeded_rng(59);
+        let a = random::gaussian_matrix(&mut rng, 8, 3);
+        let op = g.load_matrix(&a).unwrap();
+        let bs: Vec<Vec<f64>> = (0..4).map(|_| random::normal_vector(&mut rng, 8)).collect();
+        let batch = g.solve_pinv_batch(op, &bs).unwrap();
+        assert_eq!(batch.len(), 4);
+        // Ideal config: no read noise, so the shared conductance read equals
+        // the per-call reads and the results must agree to rounding.
+        for (b, x) in bs.iter().zip(&batch) {
+            assert_eq!(x.len(), 3);
+            let x_ref = g.solve_pinv(op, b).unwrap();
+            assert!(vector::rel_error(x, &x_ref) < 1e-10, "{x:?} vs {x_ref:?}");
+        }
+    }
+
+    #[test]
+    fn solve_pinv_batch_handles_zero_columns_and_shapes() {
+        let mut g = ideal_group(2, 6, 19);
+        let mut rng = seeded_rng(60);
+        let a = random::gaussian_matrix(&mut rng, 6, 2);
+        let op = g.load_matrix(&a).unwrap();
+        let bs = vec![vec![0.0; 6], random::normal_vector(&mut rng, 6)];
+        let xs = g.solve_pinv_batch(op, &bs).unwrap();
+        assert_eq!(xs[0], vec![0.0; 2]);
+        let x_ref = g.solve_pinv(op, &bs[1]).unwrap();
+        assert!(vector::rel_error(&xs[1], &x_ref) < 1e-10);
+        assert!(g.solve_pinv_batch(op, &[vec![1.0; 3]]).is_err());
+        assert!(g.solve_pinv_batch(op, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -121,6 +121,120 @@ impl AnalogCostModel {
     }
 }
 
+/// Cell layout style for the area model.
+///
+/// The device crate models both halves: the Stanford-PKU RRAM compact model
+/// is the resistive element itself (a 4F² crosspoint when laid out
+/// passively), and [`gramc_device::OneTOneR`] adds the NMOS access
+/// transistor that dominates the footprint (≈ 12F², transistor-limited).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellLayout {
+    /// 1T1R: RRAM in series with its access transistor, ≈ 12F² per cell.
+    OneTOneR,
+    /// Passive Stanford-PKU crosspoint, the 4F² density limit.
+    Crosspoint,
+}
+
+impl CellLayout {
+    /// Cell area in units of F² (square feature sizes).
+    pub fn cell_f2(self) -> f64 {
+        match self {
+            CellLayout::OneTOneR => 12.0,
+            CellLayout::Crosspoint => 4.0,
+        }
+    }
+}
+
+/// Per-component silicon area of one analog macro, mm².
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Crossbar cell matrix (both differential planes counted by the
+    /// caller via the macro count).
+    pub crossbar_mm2: f64,
+    /// Row DAC drivers.
+    pub dac_mm2: f64,
+    /// Column ADC read-out.
+    pub adc_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total macro area, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.crossbar_mm2 + self.dac_mm2 + self.adc_mm2
+    }
+
+    /// Component-wise sum (e.g. across macros or shards).
+    pub fn then(self, other: AreaBreakdown) -> AreaBreakdown {
+        AreaBreakdown {
+            crossbar_mm2: self.crossbar_mm2 + other.crossbar_mm2,
+            dac_mm2: self.dac_mm2 + other.dac_mm2,
+            adc_mm2: self.adc_mm2 + other.adc_mm2,
+        }
+    }
+
+    /// Scales every component (e.g. by a macro or shard count).
+    pub fn scaled(self, k: f64) -> AreaBreakdown {
+        AreaBreakdown {
+            crossbar_mm2: self.crossbar_mm2 * k,
+            dac_mm2: self.dac_mm2 * k,
+            adc_mm2: self.adc_mm2 * k,
+        }
+    }
+}
+
+/// Per-component area coefficients for the analog macro — the mm² half of
+/// the RAMwich-style accounting (the energy half is
+/// [`AnalogCostModel::attribute`]). Converter footprints are indicative
+/// ISAAC/PUMA-class figures (8-bit SAR ADC ≈ 1.2e-3 mm², one DAC driver
+/// channel ≈ 1.7e-6 mm²); the crossbar follows from the cell layout and
+/// feature size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogAreaModel {
+    /// Lithography feature size F, meters (Stanford-PKU demos sit at 130 nm).
+    pub feature_size: f64,
+    /// Cell layout (1T1R vs passive crosspoint).
+    pub cell_layout: CellLayout,
+    /// Area per DAC driver channel, mm² (one per array row).
+    pub dac_channel_mm2: f64,
+    /// Area per ADC read-out channel, mm² (one per array column).
+    pub adc_channel_mm2: f64,
+}
+
+impl Default for AnalogAreaModel {
+    fn default() -> Self {
+        Self {
+            feature_size: 130e-9,
+            cell_layout: CellLayout::OneTOneR,
+            dac_channel_mm2: 1.7e-6,
+            adc_channel_mm2: 1.2e-3,
+        }
+    }
+}
+
+impl AnalogAreaModel {
+    /// Area of one `rows × cols` crossbar plane, mm².
+    pub fn crossbar_mm2(&self, rows: usize, cols: usize) -> f64 {
+        let f_mm = self.feature_size * 1e3; // m → mm
+        (rows * cols) as f64 * self.cell_layout.cell_f2() * f_mm * f_mm
+    }
+
+    /// Per-component area of one macro: a `rows × cols` crossbar plane with
+    /// `rows` DAC drivers and `cols` ADC channels.
+    pub fn macro_area(&self, rows: usize, cols: usize) -> AreaBreakdown {
+        AreaBreakdown {
+            crossbar_mm2: self.crossbar_mm2(rows, cols),
+            dac_mm2: rows as f64 * self.dac_channel_mm2,
+            adc_mm2: cols as f64 * self.adc_channel_mm2,
+        }
+    }
+
+    /// Total area of a deployment of `macros` identical macros (e.g.
+    /// `shards × macros_per_shard` in the runtime).
+    pub fn deployment_area(&self, macros: usize, rows: usize, cols: usize) -> AreaBreakdown {
+        self.macro_area(rows, cols).scaled(macros as f64)
+    }
+}
+
 /// Cost model for the digital baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DigitalCostModel {
@@ -237,6 +351,21 @@ mod tests {
             + 200.0 * m.cell_read_power * m.solve_settle;
         assert!((c.latency - want_latency).abs() < 1e-18, "latency {}", c.latency);
         assert!((c.energy - want_energy).abs() < 1e-18, "energy {}", c.energy);
+    }
+
+    #[test]
+    fn area_model_scales_with_cells_and_converters() {
+        let m = AnalogAreaModel::default();
+        let one = m.macro_area(128, 128);
+        // ADC channels dominate a 128×128 macro at these coefficients.
+        assert!(one.adc_mm2 > one.crossbar_mm2, "{one:?}");
+        assert!(one.total_mm2() > 0.0);
+        let sixteen = m.deployment_area(16, 128, 128);
+        assert!((sixteen.total_mm2() - 16.0 * one.total_mm2()).abs() < 1e-12);
+        // Passive crosspoint is 3× denser than 1T1R on the cell matrix.
+        let dense = AnalogAreaModel { cell_layout: CellLayout::Crosspoint, ..m.clone() };
+        let r = m.crossbar_mm2(128, 128) / dense.crossbar_mm2(128, 128);
+        assert!((r - 3.0).abs() < 1e-12, "{r}");
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub enum RuntimeError {
     /// malformed request cannot poison an analog dispatch or a coalesced
     /// batch.
     NonFiniteInput,
+    /// Admission control rejected the submission: the runtime's bounded
+    /// queue already holds `limit` unretired jobs. Typed backpressure — the
+    /// caller should retry later, shed load, or raise the bound with
+    /// [`Runtime::with_queue_limit`](crate::Runtime::with_queue_limit).
+    QueueFull {
+        /// The configured queue bound that was hit.
+        limit: usize,
+    },
     /// A load's write-verify pass left more cells unconverged than the
     /// health policy's `max_load_failure_frac` allows, even after its
     /// bounded reprogram retries.
@@ -63,6 +71,9 @@ impl fmt::Display for RuntimeError {
             Self::JobPanicked => write!(f, "job panicked on its shard"),
             Self::WaitTimeout => write!(f, "timed out waiting for a job to retire"),
             Self::NonFiniteInput => write!(f, "input vector contains NaN or infinite values"),
+            Self::QueueFull { limit } => {
+                write!(f, "submission rejected: queue already holds {limit} jobs")
+            }
             Self::ProgramVerifyFailed { failed_cells, total_cells } => {
                 write!(f, "write-verify failed on {failed_cells}/{total_cells} cells")
             }

@@ -159,6 +159,9 @@ pub(crate) enum JobKind {
     SolveInv { handle: OperatorHandle, b: Vec<f64> },
     /// Multi-RHS INV solve through `MacroGroup::solve_inv_batch`.
     SolveInvBatch { handle: OperatorHandle, bs: Vec<Vec<f64>> },
+    /// Multi-RHS PINV (least-squares) solve through
+    /// `MacroGroup::solve_pinv_batch`.
+    SolvePinvBatch { handle: OperatorHandle, bs: Vec<Vec<f64>> },
     /// Place a matrix on the job's shard and fulfil the registry entry.
     Load { handle: OperatorHandle, matrix: Arc<Matrix>, mapping: TileMapping },
     /// Release the operator and retire the registry entry.
@@ -174,7 +177,8 @@ impl JobKind {
             | Self::MvmSet { handle, .. }
             | Self::MvmBatch { handle, .. }
             | Self::SolveInv { handle, .. }
-            | Self::SolveInvBatch { handle, .. } => Some(*handle),
+            | Self::SolveInvBatch { handle, .. }
+            | Self::SolvePinvBatch { handle, .. } => Some(*handle),
             Self::Load { .. } | Self::Free { .. } => None,
         }
     }
@@ -195,4 +199,8 @@ pub(crate) struct Job {
     /// job restarts the clock; its measured latency is per dispatch).
     #[cfg(feature = "telemetry")]
     pub submitted: Instant,
+    /// Enqueue timestamp on the journal clock, so the queued span of the
+    /// submit→complete breakdown starts exactly at submission.
+    #[cfg(feature = "telemetry")]
+    pub submit_ns: u64,
 }

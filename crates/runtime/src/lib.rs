@@ -127,13 +127,77 @@
 //!   analog seconds alongside wall-clock time.
 //! * **Serving metrics** — [`Runtime::metrics_snapshot`] returns
 //!   submit→dispatch→complete latency histograms (log-bucketed, lock-free;
-//!   p50/p90/p99/max), the queue-depth high-water mark and per-shard
-//!   steal/retry/requeue/quarantine counters;
-//!   [`MetricsSnapshot::to_json`] serializes the lot.
-//! * **Event journal** — submit/coalesce instants, per-job dispatch spans,
-//!   probe spans and health events land in a bounded preallocated ring;
-//!   [`Runtime::journal_chrome_trace`] exports it for chrome://tracing or
-//!   Perfetto.
+//!   p50/p90/p99/p999/max), current queue depth and its high-water mark,
+//!   the admission-rejection count and per-shard
+//!   steal/retry/requeue/quarantine/busy-time counters;
+//!   [`MetricsSnapshot::to_json`] serializes the lot under a pinned
+//!   `schema_version` ([`METRICS_SCHEMA_VERSION`]).
+//! * **Event journal** — submit/coalesce/rejection instants, per-job
+//!   duration spans, probe spans and health events land in a bounded
+//!   preallocated ring; [`Runtime::journal_chrome_trace`] exports it for
+//!   chrome://tracing or Perfetto.
+//!
+//! ### Span model
+//!
+//! Every retired job contributes **two abutting duration spans** that
+//! together cover submit→complete:
+//!
+//! * `queued:<kind>` — from the submission timestamp (taken under the
+//!   queue lock, at ticket assignment) to dispatch, drawn on the job's
+//!   **shard lane** (`tid` = shard index). Queue pressure per shard is the
+//!   width of these spans.
+//! * `job:<kind>` — from dispatch to completion, drawn on the executing
+//!   **worker lane** (`tid` = 1000 + worker index, so worker occupancy
+//!   renders separately from shard queueing; a stolen job shows up on the
+//!   thief's lane).
+//!
+//! `submit` instants mark enqueue points on the shard lanes and `rejected`
+//! instants mark admission-control rejections; health events keep their
+//! own `health` category.
+//!
+//! ### Metrics JSONL stream
+//!
+//! [`MetricsReporter`] snapshots a served runtime on a fixed interval and
+//! appends one compact JSON object per line
+//! ([`MetricsSnapshot::to_jsonl_line`]). Each record carries
+//! `schema_version`, the three stage histograms (`count`, `mean_ns`, the
+//! `p50/p90/p99/p999/max` ladder), `queue_depth` / `queue_depth_max` /
+//! `rejected`, per-shard scheduler counters with `busy_ns` utilization
+//! numerators, per-kind job counts with hardware attribution and modeled
+//! cost, and the journal fill level. Consumers tail the file; the schema
+//! version is pinned by test.
+//!
+//! ### Load observatory
+//!
+//! `cargo run --release -p gramc-bench --bin load_observatory` drives a
+//! served runtime from many client threads and records the latency SLO
+//! evidence into `BENCH_kernels.json`:
+//!
+//! * **closed-loop** — each client submits, waits, submits again:
+//!   saturation throughput and in-service latency.
+//! * **open-loop** — a pacer submits at fixed arrival rates regardless of
+//!   completions: queueing-delay percentiles and the saturation knee (the
+//!   rate where p99 departs and rejections begin, under a bounded queue).
+//!
+//! Both record p50/p99/p999 latency, sustained throughput and the
+//! rejection rate at each swept arrival rate (`serving_closed_*` /
+//! `serving_open_*` entries; single-core hosts annotate `overhead_only`
+//! like the other runtime benches). The bench smoke mode exports
+//! `TRACE_serving.json` (chrome trace of a served sample run) and
+//! `METRICS_serving.jsonl` (live reporter output), both validated in CI.
+//!
+//! ## Persistent serving
+//!
+//! [`RuntimeServer::start`] turns a runtime into an always-on service: one
+//! persistent worker per shard, parked on a condvar between submissions
+//! and woken by any `submit_*`. `submit → JobHandle::wait` completes
+//! without any [`Runtime::run_all`] drain. Pair with
+//! [`Runtime::with_queue_limit`] for bounded-queue admission control
+//! ([`RuntimeError::QueueFull`] backpressure) and
+//! [`RuntimeServer::shutdown`] for graceful drain-then-join shutdown.
+//! Ticket order is unchanged, so fixed seeds + pinned placement stay
+//! bit-identical to a lone `MacroGroup` whether jobs are drained or
+//! served.
 //!
 //! ## Relation to `GramcSystem`
 //!
@@ -150,6 +214,7 @@ mod health;
 mod job;
 mod registry;
 mod runtime;
+mod server;
 #[cfg(feature = "telemetry")]
 mod telemetry;
 mod tiling;
@@ -159,12 +224,15 @@ pub use health::{HealthConfig, HealthEvent};
 pub use job::{JobHandle, JobOutput};
 pub use registry::{OperatorHandle, Placement};
 pub use runtime::{QueuePolicy, RunSummary, Runtime};
+pub use server::{RuntimeServer, ServeReport};
 pub use tiling::ShardedTiledOperator;
 
 pub use gramc_core::{ProbeReport, ProgramOutcome};
 
 #[cfg(feature = "telemetry")]
-pub use telemetry::{KindMetrics, MetricsSnapshot, ShardMetrics};
+pub use server::MetricsReporter;
+#[cfg(feature = "telemetry")]
+pub use telemetry::{KindMetrics, MetricsSnapshot, ShardMetrics, METRICS_SCHEMA_VERSION};
 
 #[cfg(feature = "telemetry")]
 pub use gramc_telemetry::{

@@ -81,6 +81,9 @@ pub(crate) enum FreeTarget {
 #[derive(Debug)]
 struct Entry {
     shard: usize,
+    /// Output dimension (matrix rows) recorded at load submission, so
+    /// solve right-hand sides can be shape-checked before enqueueing.
+    rows: usize,
     /// Input dimension (matrix columns) recorded at load submission, so
     /// MVM requests can be shape-checked before they join a coalesced
     /// batch.
@@ -120,6 +123,7 @@ impl Registry {
     pub(crate) fn place(
         &mut self,
         placement: Placement,
+        rows: usize,
         cols: usize,
         matrix: Arc<Matrix>,
         mapping: TileMapping,
@@ -147,7 +151,7 @@ impl Registry {
         };
         self.live_per_shard[shard] += 1;
         let handle = OperatorHandle(self.entries.len());
-        self.entries.push(Entry { shard, cols, matrix, mapping, state: EntryState::Pending });
+        self.entries.push(Entry { shard, rows, cols, matrix, mapping, state: EntryState::Pending });
         Ok((handle, shard))
     }
 
@@ -206,6 +210,15 @@ impl Registry {
         handle: OperatorHandle,
     ) -> Result<(usize, usize), RuntimeError> {
         self.submission_entry(handle).map(|e| (e.shard, e.cols))
+    }
+
+    /// Shard plus output dimension, for shape-checking solve right-hand
+    /// sides at submission.
+    pub(crate) fn shard_and_rows(
+        &self,
+        handle: OperatorHandle,
+    ) -> Result<(usize, usize), RuntimeError> {
+        self.submission_entry(handle).map(|e| (e.shard, e.rows))
     }
 
     fn submission_entry(&self, handle: OperatorHandle) -> Result<&Entry, RuntimeError> {

@@ -2,24 +2,26 @@
 //! and the submission front-end.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use gramc_core::tiling::TileMapping;
 #[cfg(feature = "fault-inject")]
 use gramc_core::FaultConfig;
 use gramc_core::{CoreError, MacroConfig, MacroGroup, ProbeReport};
-use gramc_linalg::{lu, vector, Matrix};
+use gramc_linalg::{lu, qr, vector, Matrix};
 #[cfg(feature = "telemetry")]
-use gramc_telemetry::HwSnapshot;
+use gramc_telemetry::{HwSnapshot, JournalEvent};
 
 use crate::error::RuntimeError;
 use crate::health::{HealthConfig, HealthEvent, ShardHealth};
 use crate::job::{Job, JobHandle, JobKind, JobOutput, Slot};
 use crate::registry::{ExecTarget, FreeTarget, OperatorHandle, Placement, Registry};
 #[cfg(feature = "telemetry")]
-use crate::telemetry::{kind_index, kind_span_name, MetricsSnapshot, RtTelemetry};
+use crate::telemetry::{
+    kind_index, kind_queued_name, kind_span_name, MetricsSnapshot, RtTelemetry, WORKER_LANE_BASE,
+};
 
 /// Where submitted jobs are enqueued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -130,6 +132,13 @@ pub struct Runtime {
     pending_mvm: Mutex<BTreeMap<OperatorHandle, PendingMvms>>,
     /// Jobs enqueued but not yet retired (drain-loop termination).
     remaining: AtomicUsize,
+    /// Admission bound: submissions are rejected with
+    /// [`RuntimeError::QueueFull`] while `remaining` is at or over this.
+    /// `None` (the default) admits everything.
+    queue_limit: Option<usize>,
+    /// Parking/wake state of persistent serving workers
+    /// ([`RuntimeServer`](crate::RuntimeServer)).
+    serve: ServeState,
     queue_policy: QueuePolicy,
     executed: Vec<AtomicUsize>,
     stolen: AtomicUsize,
@@ -188,6 +197,8 @@ impl Runtime {
             registry: Mutex::new(Registry::new(shards)),
             pending_mvm: Mutex::new(BTreeMap::new()),
             remaining: AtomicUsize::new(0),
+            queue_limit: None,
+            serve: ServeState::default(),
             queue_policy,
             executed: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
             stolen: AtomicUsize::new(0),
@@ -213,6 +224,48 @@ impl Runtime {
     /// The active health-monitoring policy.
     pub fn health_config(&self) -> &HealthConfig {
         &self.health_cfg
+    }
+
+    /// Bounds the job queue (builder style): while `limit` jobs are already
+    /// submitted and unretired, further submissions are rejected with
+    /// [`RuntimeError::QueueFull`] instead of enqueueing — typed
+    /// backpressure for serving deployments. The bound is approximate under
+    /// concurrent submitters (each checks then enqueues without a global
+    /// lock), which is the usual admission-control contract: it bounds the
+    /// queue to `limit + O(submitters)`, never rejects below `limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0` — a queue that admits nothing deadlocks every
+    /// caller.
+    #[must_use]
+    pub fn with_queue_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "a zero queue limit would reject every submission");
+        self.queue_limit = Some(limit);
+        self
+    }
+
+    /// The admission bound, if one is set.
+    pub fn queue_limit(&self) -> Option<usize> {
+        self.queue_limit
+    }
+
+    /// Admission control: rejects the submission while the queue sits at or
+    /// over the configured bound. Called by every `submit_*` before any
+    /// state is mutated, so a rejected call has no side effects.
+    fn admit(&self) -> Result<(), RuntimeError> {
+        let Some(limit) = self.queue_limit else {
+            return Ok(());
+        };
+        if self.remaining.load(Ordering::SeqCst) >= limit {
+            #[cfg(feature = "telemetry")]
+            {
+                self.telemetry.rejected.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.journal.instant("rejected", "runtime", limit as u64, 0);
+            }
+            return Err(RuntimeError::QueueFull { limit });
+        }
+        Ok(())
     }
 
     /// The paper's macro complement per shard: `shards` groups of 16
@@ -291,9 +344,18 @@ impl Runtime {
         let ticket = self.shards[shard].next_ticket.fetch_add(1, Ordering::SeqCst);
         let prev_depth = self.remaining.fetch_add(1, Ordering::SeqCst);
         #[cfg(feature = "telemetry")]
+        let submit_ns = self.telemetry.journal.now_ns();
+        #[cfg(feature = "telemetry")]
         {
             self.telemetry.queue_depth_max.fetch_max(prev_depth + 1, Ordering::Relaxed);
-            self.telemetry.journal.instant("submit", "runtime", shard as u64, ticket);
+            self.telemetry.journal.record(JournalEvent {
+                name: "submit",
+                category: "runtime",
+                ts_ns: submit_ns,
+                dur_ns: 0,
+                arg_a: shard as u64,
+                arg_b: ticket,
+            });
         }
         #[cfg(not(feature = "telemetry"))]
         let _ = prev_depth;
@@ -305,7 +367,17 @@ impl Runtime {
             retries,
             #[cfg(feature = "telemetry")]
             submitted: std::time::Instant::now(),
+            #[cfg(feature = "telemetry")]
+            submit_ns,
         });
+        drop(queue);
+        // Wake parked serving workers. The park mutex is taken (empty
+        // critical section) so a worker between its `remaining` re-check
+        // and its wait cannot miss the notification.
+        if self.serve.active.load(Ordering::SeqCst) {
+            drop(self.serve.park.lock().expect("serve lock"));
+            self.serve.wake.notify_all();
+        }
     }
 
     /// Rejects `NaN`/`±inf` inputs at submission time (mirroring the shape
@@ -325,16 +397,19 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::BadShard`] for an out-of-range pinned placement.
+    /// [`RuntimeError::BadShard`] for an out-of-range pinned placement;
+    /// [`RuntimeError::QueueFull`] past the admission bound.
     pub fn submit_load(
         &self,
         a: &Matrix,
         mapping: TileMapping,
         placement: Placement,
     ) -> Result<(OperatorHandle, JobHandle), RuntimeError> {
+        self.admit()?;
         let matrix = Arc::new(a.clone());
         let (handle, shard) = self.registry.lock().expect("registry lock").place(
             placement,
+            a.rows(),
             a.cols(),
             matrix.clone(),
             mapping,
@@ -357,7 +432,10 @@ impl Runtime {
     /// [`RuntimeError::InvalidHandle`] for dead handles;
     /// [`CoreError::ShapeMismatch`](gramc_core::CoreError) for a wrong
     /// input length — checked here so one malformed request cannot poison
-    /// the whole coalesced batch it would have joined.
+    /// the whole coalesced batch it would have joined;
+    /// [`RuntimeError::QueueFull`] past the admission bound (only a request
+    /// that would *open* a batch is subject to the bound — a rider joining
+    /// an already-open batch adds no queue entry).
     pub fn submit_mvm(&self, op: OperatorHandle, x: Vec<f64>) -> Result<JobHandle, RuntimeError> {
         let (shard, cols) = self.registry.lock().expect("registry lock").shard_and_cols(op)?;
         if x.len() != cols {
@@ -370,6 +448,9 @@ impl Runtime {
         let mut pending = self.pending_mvm.lock().expect("pending lock");
         let entry = pending.entry(op).or_default();
         let opens_batch = entry.xs.is_empty();
+        if opens_batch {
+            self.admit()?;
+        }
         entry.xs.push(x);
         entry.slots.push(jh.slot.clone());
         if opens_batch {
@@ -392,12 +473,14 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::InvalidHandle`] for dead handles.
+    /// [`RuntimeError::InvalidHandle`] for dead handles;
+    /// [`RuntimeError::QueueFull`] past the admission bound.
     pub fn submit_mvm_batch(
         &self,
         op: OperatorHandle,
         xs: Vec<Vec<f64>>,
     ) -> Result<JobHandle, RuntimeError> {
+        self.admit()?;
         let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
         for x in &xs {
             Self::check_finite(x)?;
@@ -411,12 +494,14 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::InvalidHandle`] for dead handles.
+    /// [`RuntimeError::InvalidHandle`] for dead handles;
+    /// [`RuntimeError::QueueFull`] past the admission bound.
     pub fn submit_solve_inv(
         &self,
         op: OperatorHandle,
         b: Vec<f64>,
     ) -> Result<JobHandle, RuntimeError> {
+        self.admit()?;
         let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
         Self::check_finite(&b)?;
         let jh = JobHandle::new();
@@ -429,18 +514,48 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::InvalidHandle`] for dead handles.
+    /// [`RuntimeError::InvalidHandle`] for dead handles;
+    /// [`RuntimeError::QueueFull`] past the admission bound.
     pub fn submit_solve_inv_batch(
         &self,
         op: OperatorHandle,
         bs: Vec<Vec<f64>>,
     ) -> Result<JobHandle, RuntimeError> {
+        self.admit()?;
         let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
         for b in &bs {
             Self::check_finite(b)?;
         }
         let jh = JobHandle::new();
         self.enqueue(shard, JobKind::SolveInvBatch { handle: op, bs }, vec![jh.slot.clone()]);
+        Ok(jh)
+    }
+
+    /// Submits a multi-RHS PINV (least-squares) solve
+    /// (`MacroGroup::solve_pinv_batch`): all right-hand sides share one
+    /// conductance read and one MNA factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidHandle`] for dead handles;
+    /// [`CoreError::ShapeMismatch`](gramc_core::CoreError) when a
+    /// right-hand side's length is not the operator's row count;
+    /// [`RuntimeError::QueueFull`] past the admission bound.
+    pub fn submit_solve_pinv_batch(
+        &self,
+        op: OperatorHandle,
+        bs: Vec<Vec<f64>>,
+    ) -> Result<JobHandle, RuntimeError> {
+        self.admit()?;
+        let (shard, rows) = self.registry.lock().expect("registry lock").shard_and_rows(op)?;
+        for b in &bs {
+            if b.len() != rows {
+                return Err(CoreError::ShapeMismatch { expected: rows, found: b.len() }.into());
+            }
+            Self::check_finite(b)?;
+        }
+        let jh = JobHandle::new();
+        self.enqueue(shard, JobKind::SolvePinvBatch { handle: op, bs }, vec![jh.slot.clone()]);
         Ok(jh)
     }
 
@@ -453,8 +568,10 @@ impl Runtime {
     /// # Errors
     ///
     /// [`RuntimeError::DoubleFree`] if already freed or free-queued,
-    /// [`RuntimeError::InvalidHandle`] for unknown handles.
+    /// [`RuntimeError::InvalidHandle`] for unknown handles,
+    /// [`RuntimeError::QueueFull`] past the admission bound.
     pub fn submit_free(&self, op: OperatorHandle) -> Result<JobHandle, RuntimeError> {
+        self.admit()?;
         let shard = self.registry.lock().expect("registry lock").queue_free(op)?;
         let jh = JobHandle::new();
         self.enqueue(shard, JobKind::Free { handle: op }, vec![jh.slot.clone()]);
@@ -538,6 +655,21 @@ impl Runtime {
         jh.wait_vectors()
     }
 
+    /// Synchronous multi-RHS PINV (least-squares) solve.
+    ///
+    /// # Errors
+    ///
+    /// Handle and shard errors.
+    pub fn solve_pinv_batch(
+        &self,
+        op: OperatorHandle,
+        bs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        let jh = self.submit_solve_pinv_batch(op, bs.to_vec())?;
+        self.run_all();
+        jh.wait_vectors()
+    }
+
     /// Synchronous free.
     ///
     /// # Errors
@@ -598,7 +730,7 @@ impl Runtime {
     /// loads); callable at any time, including between drains.
     #[cfg(feature = "telemetry")]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot::capture(&self.telemetry)
+        MetricsSnapshot::capture(&self.telemetry, self.remaining.load(Ordering::SeqCst))
     }
 
     /// Total hardware counters summed across every shard's macro group.
@@ -655,6 +787,78 @@ impl Runtime {
             } else {
                 // Nothing runnable right now (peers hold the due tickets):
                 // yield briefly, then back off to a micro-sleep.
+                idle += 1;
+                if idle < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    // ── persistent serving ────────────────────────────────────────────
+
+    /// Jobs retired so far across all workers (lifetime total).
+    pub(crate) fn executed_total(&self) -> usize {
+        self.executed.iter().map(|c| c.load(Ordering::SeqCst)).sum()
+    }
+
+    /// Marks the runtime as served by persistent workers (submissions start
+    /// notifying the park condvar) and clears any previous shutdown flag.
+    /// Called by [`RuntimeServer::start`](crate::RuntimeServer::start).
+    pub(crate) fn begin_serving(&self) {
+        self.serve.shutdown.store(false, Ordering::SeqCst);
+        self.serve.active.store(true, Ordering::SeqCst);
+    }
+
+    /// Raises the shutdown flag and wakes every parked worker. Workers
+    /// finish draining the queues before exiting, so in-flight jobs still
+    /// complete (graceful shutdown).
+    pub(crate) fn signal_shutdown(&self) {
+        self.serve.shutdown.store(true, Ordering::SeqCst);
+        drop(self.serve.park.lock().expect("serve lock"));
+        self.serve.wake.notify_all();
+    }
+
+    /// Marks serving over (submissions stop notifying the condvar). Called
+    /// after every serving worker has joined.
+    pub(crate) fn end_serving(&self) {
+        self.serve.active.store(false, Ordering::SeqCst);
+    }
+
+    /// Body of one persistent serving worker: [`worker_loop`](Self::worker_loop)
+    /// that parks on the serve condvar instead of returning when the queues
+    /// run dry, and exits only once shutdown is signalled **and** every
+    /// queued job has retired.
+    pub(crate) fn serve_loop(&self, w: usize) {
+        let mut idle = 0u32;
+        loop {
+            if self.remaining.load(Ordering::SeqCst) == 0 {
+                if self.serve.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let guard = self.serve.park.lock().expect("serve lock");
+                // Re-check under the park mutex: a submission between the
+                // outer check and the wait notifies while holding this
+                // mutex, so it cannot slip by unseen. The timeout is pure
+                // belt-and-braces — a missed edge costs one period, not a
+                // hang.
+                if self.remaining.load(Ordering::SeqCst) == 0
+                    && !self.serve.shutdown.load(Ordering::SeqCst)
+                {
+                    let _ = self.serve.wake.wait_timeout(guard, Duration::from_millis(50));
+                }
+                idle = 0;
+                continue;
+            }
+            let advanced = match self.grab_job(w) {
+                Some(job) => self.try_execute(w, job),
+                None => false,
+            };
+            if advanced {
+                idle = 0;
+            } else {
                 idle += 1;
                 if idle < 64 {
                     std::thread::yield_now();
@@ -731,18 +935,30 @@ impl Runtime {
         #[cfg(feature = "telemetry")]
         {
             let completed = std::time::Instant::now();
+            let exec_ns = completed.duration_since(dispatched).as_nanos() as u64;
             let t = &self.telemetry;
             t.submit_to_dispatch
                 .record_ns(dispatched.duration_since(job.submitted).as_nanos() as u64);
-            t.dispatch_to_complete
-                .record_ns(completed.duration_since(dispatched).as_nanos() as u64);
+            t.dispatch_to_complete.record_ns(exec_ns);
             t.submit_to_complete
                 .record_ns(completed.duration_since(job.submitted).as_nanos() as u64);
+            t.per_shard[job.shard].busy_ns.fetch_add(exec_ns, Ordering::Relaxed);
+            // The submit→complete breakdown as two abutting duration spans:
+            // the queue wait on the job's shard lane, the execution on the
+            // executing worker's lane.
+            t.journal.record(JournalEvent {
+                name: kind_queued_name(kind_ix),
+                category: "runtime",
+                ts_ns: job.submit_ns,
+                dur_ns: span_start.saturating_sub(job.submit_ns).max(1),
+                arg_a: job.shard as u64,
+                arg_b: job.ticket,
+            });
             t.journal.span(
                 kind_span_name(kind_ix),
                 "runtime",
                 span_start,
-                job.shard as u64,
+                WORKER_LANE_BASE + w as u64,
                 job.ticket,
             );
         }
@@ -1000,6 +1216,38 @@ impl Runtime {
                     }
                 },
             },
+            JobKind::SolvePinvBatch { handle, bs } => match route(*handle) {
+                Route::Fail(e) => {
+                    job.slots[0].fill(Err(e));
+                    Verdict::Done
+                }
+                Route::Digital(m) => {
+                    let xs: Result<Vec<_>, _> =
+                        bs.iter().map(|b| Self::digital_least_squares(&m, b)).collect();
+                    job.slots[0].fill(xs.map(JobOutput::Vectors));
+                    self.degraded.fetch_add(1, Ordering::SeqCst);
+                    Verdict::Done
+                }
+                Route::Requeue(to) => {
+                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
+                }
+                Route::Run(id) => match group.solve_pinv_batch(id, bs) {
+                    Ok(xs) => {
+                        if !self.pinv_residuals_ok(group, id, bs, &xs) {
+                            return Verdict::Failed {
+                                kind: job.kind.clone(),
+                                slots: job.slots.clone(),
+                            };
+                        }
+                        job.slots[0].fill(Ok(JobOutput::Vectors(xs)));
+                        Verdict::Done
+                    }
+                    Err(e) => {
+                        job.slots[0].fill(Err(e.into()));
+                        Verdict::Done
+                    }
+                },
+            },
             JobKind::Load { handle, matrix, mapping } => {
                 self.run_load(group, job, *handle, matrix, *mapping)
             }
@@ -1134,9 +1382,40 @@ impl Runtime {
         })
     }
 
+    /// Whether every PINV solution sits within the residual tolerance of
+    /// the digital least-squares answer on the quantized operator (always
+    /// true with checks disabled). `‖A·x − b‖` is not small for an
+    /// overdetermined system, so unlike [`solve_residuals_ok`]
+    /// (Self::solve_residuals_ok) the check compares solutions, not
+    /// residual norms.
+    fn pinv_residuals_ok(
+        &self,
+        group: &MacroGroup,
+        id: gramc_core::OperatorId,
+        bs: &[Vec<f64>],
+        xs: &[Vec<f64>],
+    ) -> bool {
+        let Some(tol) = self.health_cfg.residual_tolerance else {
+            return true;
+        };
+        let Ok(info) = group.operator_info(id) else {
+            return true;
+        };
+        bs.iter().zip(xs).all(|(b, x)| match qr::least_squares(&info.quantized, b) {
+            Ok(x_ref) => vector::rel_error(x, &x_ref) <= tol,
+            // A rank-deficient reference cannot arbitrate — pass the check.
+            Err(_) => true,
+        })
+    }
+
     /// Digital-reference solve on the registry's kept matrix.
     fn digital_solve(matrix: &Matrix, b: &[f64]) -> Result<Vec<f64>, RuntimeError> {
         lu::solve(matrix, b).map_err(|e| RuntimeError::from(CoreError::from(e)))
+    }
+
+    /// Digital-reference least squares (the PINV fallback path).
+    fn digital_least_squares(matrix: &Matrix, b: &[f64]) -> Result<Vec<f64>, RuntimeError> {
+        qr::least_squares(matrix, b).map_err(|e| RuntimeError::from(CoreError::from(e)))
     }
 
     fn push_event(&self, event: HealthEvent) {
@@ -1228,6 +1507,11 @@ impl Runtime {
             JobKind::SolveInvBatch { bs, .. } => {
                 let xs: Result<Vec<_>, _> =
                     bs.iter().map(|b| Self::digital_solve(&matrix, b)).collect();
+                slots[0].fill(xs.map(JobOutput::Vectors));
+            }
+            JobKind::SolvePinvBatch { bs, .. } => {
+                let xs: Result<Vec<_>, _> =
+                    bs.iter().map(|b| Self::digital_least_squares(&matrix, b)).collect();
                 slots[0].fill(xs.map(JobOutput::Vectors));
             }
             JobKind::MvmMany { .. } | JobKind::Load { .. } | JobKind::Free { .. } => {
@@ -1410,6 +1694,22 @@ impl Runtime {
         self.shard_group(shard)?.clear_faults();
         Ok(())
     }
+}
+
+/// Parking/wake state shared between submitters and persistent serving
+/// workers. The mutex guards nothing by itself — it exists so the condvar
+/// handshake (worker re-checks `remaining` under it, submitter notifies
+/// under it) has no lost-wakeup window.
+#[derive(Debug, Default)]
+struct ServeState {
+    park: Mutex<()>,
+    wake: Condvar,
+    /// Raised by [`RuntimeServer::shutdown`](crate::RuntimeServer::shutdown):
+    /// workers drain the queues, then exit instead of parking.
+    shutdown: AtomicBool,
+    /// Whether persistent workers are attached (submitters only notify the
+    /// condvar while they are — `run_all` callers skip the overhead).
+    active: AtomicBool,
 }
 
 /// Where one compute job actually runs, resolved against the registry at

@@ -16,8 +16,16 @@ use gramc_telemetry::{EventJournal, HistogramSnapshot, HwCounters, HwSnapshot, L
 use crate::job::JobKind;
 
 /// Stable display/index order of the job kinds.
-pub(crate) const KIND_NAMES: [&str; 7] =
-    ["mvm_many", "mvm_set", "mvm_batch", "solve_inv", "solve_inv_batch", "load", "free"];
+pub(crate) const KIND_NAMES: [&str; 8] = [
+    "mvm_many",
+    "mvm_set",
+    "mvm_batch",
+    "solve_inv",
+    "solve_inv_batch",
+    "solve_pinv_batch",
+    "load",
+    "free",
+];
 
 /// Index of a job kind in [`KIND_NAMES`] / the per-kind aggregates.
 pub(crate) fn kind_index(kind: &JobKind) -> usize {
@@ -27,10 +35,17 @@ pub(crate) fn kind_index(kind: &JobKind) -> usize {
         JobKind::MvmBatch { .. } => 2,
         JobKind::SolveInv { .. } => 3,
         JobKind::SolveInvBatch { .. } => 4,
-        JobKind::Load { .. } => 5,
-        JobKind::Free { .. } => 6,
+        JobKind::SolvePinvBatch { .. } => 5,
+        JobKind::Load { .. } => 6,
+        JobKind::Free { .. } => 7,
     }
 }
+
+/// Journal lane (`tid`) offset of worker-execution spans. Lanes below the
+/// base are shard lanes (queue-wait spans, instants, health events); lane
+/// `WORKER_LANE_BASE + w` is worker `w`'s execution track — so a chrome
+/// trace shows queueing per shard and occupancy per worker side by side.
+pub(crate) const WORKER_LANE_BASE: u64 = 1000;
 
 /// Journal span name of a job kind (static, so recording never allocates).
 pub(crate) fn kind_span_name(ix: usize) -> &'static str {
@@ -40,8 +55,24 @@ pub(crate) fn kind_span_name(ix: usize) -> &'static str {
         2 => "job:mvm_batch",
         3 => "job:solve_inv",
         4 => "job:solve_inv_batch",
-        5 => "job:load",
+        5 => "job:solve_pinv_batch",
+        6 => "job:load",
         _ => "job:free",
+    }
+}
+
+/// Journal span name of a job kind's queue-wait stage (submit → dispatch),
+/// static for the same no-allocation reason.
+pub(crate) fn kind_queued_name(ix: usize) -> &'static str {
+    match ix {
+        0 => "queued:mvm_many",
+        1 => "queued:mvm_set",
+        2 => "queued:mvm_batch",
+        3 => "queued:solve_inv",
+        4 => "queued:solve_inv_batch",
+        5 => "queued:solve_pinv_batch",
+        6 => "queued:load",
+        _ => "queued:free",
     }
 }
 
@@ -56,6 +87,9 @@ pub(crate) struct ShardCounters {
     pub requeues: AtomicU64,
     /// Times this shard was quarantined.
     pub quarantines: AtomicU64,
+    /// Wall-clock nanoseconds this shard's jobs spent executing (dispatch →
+    /// complete, summed) — the numerator of per-shard utilization.
+    pub busy_ns: AtomicU64,
 }
 
 /// Per-job-kind aggregate: dispatch count plus the hardware events the
@@ -74,6 +108,9 @@ pub(crate) struct RtTelemetry {
     pub submit_to_complete: LatencyHistogram,
     /// High-water mark of jobs enqueued at once.
     pub queue_depth_max: AtomicUsize,
+    /// Submissions rejected by the admission bound
+    /// ([`RuntimeError::QueueFull`](crate::RuntimeError::QueueFull)).
+    pub rejected: AtomicU64,
     pub per_shard: Vec<ShardCounters>,
     pub per_kind: [KindAgg; KIND_NAMES.len()],
     pub journal: EventJournal,
@@ -90,6 +127,7 @@ impl RtTelemetry {
             dispatch_to_complete: LatencyHistogram::new(),
             submit_to_complete: LatencyHistogram::new(),
             queue_depth_max: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
             per_shard: (0..shards).map(|_| ShardCounters::default()).collect(),
             per_kind: std::array::from_fn(|_| KindAgg::default()),
             journal: EventJournal::new(JOURNAL_CAPACITY),
@@ -125,6 +163,9 @@ pub struct ShardMetrics {
     pub requeues: u64,
     /// Times this shard was quarantined.
     pub quarantines: u64,
+    /// Nanoseconds this shard's jobs spent executing (dispatch→complete,
+    /// summed). Divide by the serving window for utilization.
+    pub busy_ns: u64,
 }
 
 /// Point-in-time copy of one job kind's aggregate.
@@ -145,6 +186,11 @@ impl KindMetrics {
     }
 }
 
+/// Version of the JSON layout emitted by [`MetricsSnapshot::to_json`].
+/// Bump on any key rename/removal; additions alone do not require a bump
+/// but get one anyway so downstream dashboards can pin exactly.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
+
 /// A consistent cut of the runtime's serving metrics
 /// ([`Runtime::metrics_snapshot`](crate::Runtime::metrics_snapshot)).
 #[derive(Debug, Clone, PartialEq)]
@@ -157,6 +203,10 @@ pub struct MetricsSnapshot {
     pub submit_to_complete: HistogramSnapshot,
     /// High-water mark of jobs enqueued at once.
     pub queue_depth_max: usize,
+    /// Current queue depth (jobs submitted but not yet retired).
+    pub queue_depth: usize,
+    /// Submissions rejected by the admission bound.
+    pub rejected: u64,
     /// Scheduler counters per shard.
     pub shards: Vec<ShardMetrics>,
     /// Per-job-kind dispatch counts and hardware attribution.
@@ -170,7 +220,7 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    pub(crate) fn capture(t: &RtTelemetry) -> Self {
+    pub(crate) fn capture(t: &RtTelemetry, queue_depth: usize) -> Self {
         let shards = t
             .per_shard
             .iter()
@@ -179,6 +229,7 @@ impl MetricsSnapshot {
                 retries: s.retries.load(Ordering::Relaxed),
                 requeues: s.requeues.load(Ordering::Relaxed),
                 quarantines: s.quarantines.load(Ordering::Relaxed),
+                busy_ns: s.busy_ns.load(Ordering::Relaxed),
             })
             .collect();
         let kinds = KIND_NAMES
@@ -195,6 +246,8 @@ impl MetricsSnapshot {
             dispatch_to_complete: t.dispatch_to_complete.snapshot(),
             submit_to_complete: t.submit_to_complete.snapshot(),
             queue_depth_max: t.queue_depth_max.load(Ordering::Relaxed),
+            queue_depth,
+            rejected: t.rejected.load(Ordering::Relaxed),
             shards,
             kinds,
             hw_total: t.kind_hw_total(),
@@ -211,19 +264,22 @@ impl MetricsSnapshot {
     /// Serializes the snapshot as a self-contained JSON object (hand-rolled
     /// — the workspace has no serde). Hardware counters are priced through
     /// the default [`AnalogCostModel`]; histograms report count, mean and
-    /// the p50/p90/p99/max ladder in nanoseconds.
+    /// the p50/p90/p99/p999/max ladder in nanoseconds. The layout is
+    /// versioned by the `"schema_version"` key
+    /// ([`METRICS_SCHEMA_VERSION`]).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let model = AnalogCostModel::default();
         let hist = |h: &HistogramSnapshot| {
             format!(
                 "{{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p90_ns\": {}, \
-                 \"p99_ns\": {}, \"max_ns\": {}}}",
+                 \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}",
                 h.count,
                 h.mean_ns(),
                 h.p50_ns(),
                 h.p90_ns(),
                 h.p99_ns(),
+                h.p999_ns(),
                 h.max_ns
             )
         };
@@ -241,18 +297,21 @@ impl MetricsSnapshot {
             format!("{{\"latency_s\": {:e}, \"energy_j\": {:e}}}", c.latency, c.energy)
         };
         let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", METRICS_SCHEMA_VERSION);
         let _ = writeln!(out, "  \"submit_to_dispatch\": {},", hist(&self.submit_to_dispatch));
         let _ = writeln!(out, "  \"dispatch_to_complete\": {},", hist(&self.dispatch_to_complete));
         let _ = writeln!(out, "  \"submit_to_complete\": {},", hist(&self.submit_to_complete));
+        let _ = writeln!(out, "  \"queue_depth\": {},", self.queue_depth);
         let _ = writeln!(out, "  \"queue_depth_max\": {},", self.queue_depth_max);
+        let _ = writeln!(out, "  \"rejected\": {},", self.rejected);
         out.push_str("  \"shards\": [\n");
         for (i, s) in self.shards.iter().enumerate() {
             let comma = if i + 1 < self.shards.len() { "," } else { "" };
             let _ = writeln!(
                 out,
                 "    {{\"steals\": {}, \"retries\": {}, \"requeues\": {}, \
-                 \"quarantines\": {}}}{}",
-                s.steals, s.retries, s.requeues, s.quarantines, comma
+                 \"quarantines\": {}, \"busy_ns\": {}}}{}",
+                s.steals, s.retries, s.requeues, s.quarantines, s.busy_ns, comma
             );
         }
         out.push_str("  ],\n  \"kinds\": {\n");
@@ -279,6 +338,17 @@ impl MetricsSnapshot {
         out.push_str("}\n");
         out
     }
+
+    /// [`to_json`](Self::to_json) flattened onto one line — the record
+    /// format of the live metrics JSONL stream
+    /// ([`MetricsReporter`](crate::MetricsReporter)). No key or string in
+    /// the document contains whitespace, so collapsing the pretty layout
+    /// yields valid compact JSON.
+    pub fn to_jsonl_line(&self) -> String {
+        let mut line: String = self.to_json().split_whitespace().collect::<Vec<_>>().join(" ");
+        line.push('\n');
+        line
+    }
 }
 
 #[cfg(test)]
@@ -290,11 +360,14 @@ mod tests {
         use crate::registry::OperatorHandle;
         let h = OperatorHandle(0);
         assert_eq!(kind_index(&JobKind::MvmMany { handle: h }), 0);
-        assert_eq!(kind_index(&JobKind::Free { handle: h }), 6);
+        assert_eq!(kind_index(&JobKind::SolvePinvBatch { handle: h, bs: Vec::new() }), 5);
+        assert_eq!(kind_index(&JobKind::Free { handle: h }), 7);
         assert_eq!(KIND_NAMES[0], "mvm_many");
-        assert_eq!(KIND_NAMES[6], "free");
+        assert_eq!(KIND_NAMES[5], "solve_pinv_batch");
+        assert_eq!(KIND_NAMES[7], "free");
         for i in 0..KIND_NAMES.len() {
             assert!(kind_span_name(i).ends_with(KIND_NAMES[i]));
+            assert!(kind_queued_name(i).ends_with(KIND_NAMES[i]));
         }
     }
 
@@ -306,8 +379,9 @@ mod tests {
         t.submit_to_complete.record_ns(3_000);
         let hw = HwSnapshot { dac_drives: 8, adc_conversions: 8, ..Default::default() };
         t.record_job(2, &hw);
-        let snap = MetricsSnapshot::capture(&t);
+        let snap = MetricsSnapshot::capture(&t, 3);
         assert_eq!(snap.kinds[2].jobs, 1);
+        assert_eq!(snap.queue_depth, 3);
         assert_eq!(snap.hw_total.dac_drives, 8);
         assert!(snap.analog_cost(&AnalogCostModel::default()).energy > 0.0);
         let json = snap.to_json();
@@ -315,6 +389,18 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"submit_to_complete\""));
         assert!(json.contains("\"mvm_batch\""));
+        assert!(json.contains("\"solve_pinv_batch\""));
         assert!(json.contains("\"energy_j\""));
+    }
+
+    #[test]
+    fn jsonl_line_is_one_compact_line() {
+        let t = RtTelemetry::new(1);
+        t.submit_to_complete.record_ns(5_000);
+        let line = MetricsSnapshot::capture(&t, 0).to_jsonl_line();
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.trim_end().matches('\n').count(), 0);
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert!(line.contains("\"schema_version\": 2"));
     }
 }

@@ -328,6 +328,11 @@ impl HistogramSnapshot {
         self.quantile_ns(0.99)
     }
 
+    /// 99.9th-percentile estimate in nanoseconds (tail SLO metric).
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+
     /// Mean recorded duration in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> f64 {
         if self.count == 0 {

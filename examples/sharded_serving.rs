@@ -13,7 +13,7 @@
 use gramc::core::tiling::TileMapping;
 use gramc::core::MacroConfig;
 use gramc::linalg::{random, vector};
-use gramc::runtime::{Placement, Runtime, ShardedTiledOperator};
+use gramc::runtime::{Placement, Runtime, RuntimeServer, ShardedTiledOperator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Four shards of four macros each, paper non-idealities at 32×32.
@@ -77,5 +77,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y_ref = big.matvec(&x);
     println!("tiled MVM rel.err: {:.2} %", 100.0 * vector::rel_error(&y, &y_ref));
     tiled.free(&rt)?;
+
+    // ── Persistent serving ────────────────────────────────────────────
+    // run_all above is a batch drain: nothing completes until somebody
+    // drains. A RuntimeServer keeps one worker per shard alive instead, so
+    // submit → wait behaves like a real service call — jobs complete the
+    // moment they are due, and the queue bound turns overload into typed
+    // QueueFull rejections rather than unbounded backlog.
+    let rt =
+        std::sync::Arc::new(Runtime::new(2, 4, MacroConfig::small(32), 2026).with_queue_limit(512));
+    let server = RuntimeServer::start(rt.clone());
+    let (op, loaded) = rt.submit_load(&a, TileMapping::FourBit, Placement::LeastLoaded)?;
+    loaded.wait()?; // completed by the server — no run_all anywhere
+    let t0 = std::time::Instant::now();
+    let live: Vec<_> = (0..64)
+        .map(|_| rt.submit_mvm_batch(op, vec![random::normal_vector(&mut rng, 32)]))
+        .collect::<Result<_, _>>()?;
+    for h in &live {
+        h.wait()?;
+    }
+    let wall = t0.elapsed();
+    let report = server.shutdown();
+    println!(
+        "\nserved {} jobs live in {:.1} ms ({} workers, {} panicked)",
+        report.jobs_executed,
+        wall.as_secs_f64() * 1e3,
+        report.workers,
+        report.panicked_workers,
+    );
     Ok(())
 }
