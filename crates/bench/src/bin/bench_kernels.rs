@@ -82,18 +82,70 @@ fn area_json(macros: usize, rows: usize, cols: usize) -> String {
     s
 }
 
+/// JSON object projecting the measured serving numbers to a
+/// million-user deployment (closing ROADMAP item 4): at 100 requests per
+/// user per day with a 5× diurnal peak, how many of the benched
+/// deployments (and crossbar arrays) sustain the peak rate, what the
+/// fleet burns per day in joules (measured energy per served request ×
+/// daily volume), and its silicon footprint under both cell layouts.
+fn deployment_projection_json(
+    runtime: &MetricsSnapshot,
+    deployment: (usize, usize, usize),
+    sustained_rps: f64,
+) -> String {
+    use std::fmt::Write as _;
+    const USERS: f64 = 1e6;
+    const REQUESTS_PER_USER_DAY: f64 = 100.0;
+    const PEAK_FACTOR: f64 = 5.0;
+    let (macros, rows, cols) = deployment;
+    let requests_per_day = USERS * REQUESTS_PER_USER_DAY;
+    let mean_rps = requests_per_day / 86_400.0;
+    let peak_rps = mean_rps * PEAK_FACTOR;
+    let sustained = sustained_rps.max(1.0);
+    let deployments = (peak_rps / sustained).ceil().max(1.0);
+    let served = runtime.submit_to_complete.count.max(1) as f64;
+    let energy_per_request =
+        AnalogCostModel::default().attribute(&runtime.hw_total).energy / served;
+    let base = AnalogAreaModel::default();
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"users\": {USERS:.0}, \"requests_per_user_day\": {REQUESTS_PER_USER_DAY:.0}, \
+         \"requests_per_day\": {requests_per_day:.0}, \"peak_factor\": {PEAK_FACTOR}, \
+         \"mean_rps\": {mean_rps:.1}, \"peak_rps\": {peak_rps:.1}, \
+         \"measured_sustained_rps\": {sustained:.1}, \
+         \"deployments_needed\": {deployments:.0}, \
+         \"arrays_needed\": {:.0}, \
+         \"energy_per_request_j\": {energy_per_request:e}, \
+         \"joules_per_day\": {:e}",
+        deployments * macros as f64,
+        energy_per_request * requests_per_day,
+    );
+    for (key, layout) in
+        [("fleet_mm2_1t1r", CellLayout::OneTOneR), ("fleet_mm2_crosspoint", CellLayout::Crosspoint)]
+    {
+        let model = AnalogAreaModel { cell_layout: layout, ..base.clone() };
+        let per_deployment = model.deployment_area(macros, rows, cols).total_mm2();
+        let _ = write!(s, ", \"{key}\": {:e}", deployments * per_deployment);
+    }
+    s.push('}');
+    s
+}
+
 /// Composes and writes `TELEMETRY_report.json` next to `out_path`:
 /// free-form metadata, one runtime's serving-metrics snapshot under
 /// `runtime_label`, the deployment's per-component area model
-/// (`deployment` = macros/rows/cols) and — in full mode — the hardware
-/// events of one streamed LeNet pass priced through the default cost
-/// model.
+/// (`deployment` = macros/rows/cols), the million-user deployment
+/// projection anchored at `sustained_rps` (the serving observatory's
+/// measured capacity) and — in full mode — the hardware events of one
+/// streamed LeNet pass priced through the default cost model.
 fn write_telemetry_report(
     out_path: &str,
     meta: &[(&str, String)],
     runtime_label: &str,
     runtime: &MetricsSnapshot,
     deployment: (usize, usize, usize),
+    sustained_rps: f64,
     lenet: Option<(usize, HwSnapshot)>,
 ) {
     use std::fmt::Write as _;
@@ -110,6 +162,11 @@ fn write_telemetry_report(
     out.push_str("  },\n");
     let _ = writeln!(out, "  \"{runtime_label}\": {},", runtime.to_json().trim_end());
     let _ = writeln!(out, "  \"area\": {},", area_json(deployment.0, deployment.1, deployment.2));
+    let _ = writeln!(
+        out,
+        "  \"deployment_projection\": {},",
+        deployment_projection_json(runtime, deployment, sustained_rps)
+    );
     match lenet {
         Some((images, hw)) => {
             let cost = AnalogCostModel::default().attribute(&hw);
@@ -169,19 +226,31 @@ fn smoke_metrics_snapshot() -> MetricsSnapshot {
 /// `METRICS_serving.jsonl` (the live metrics stream a
 /// [`MetricsReporter`](gramc_runtime::MetricsReporter) recorded during the
 /// run) and `TRACE_serving.json` (the chrome://tracing journal with the
-/// queued→executing span pair of every served job).
+/// queued→executing span pair of every served job, plus the flow events
+/// `trace_analyze` links rider requests with).
+///
+/// An [`SloMonitor`](gramc_runtime::SloMonitor) rides along — the
+/// over-knee point floods admission control hard enough to burn the
+/// rejection budget, so the artifacts carry real alerts. Returns the
+/// measured sustained capacity (rps) for the deployment projection.
 fn serving_observatory(
     out_path: &str,
     smoke: bool,
     samples: &mut Vec<Sample>,
     meta: &mut Vec<(String, String)>,
-) {
-    use gramc_runtime::{MetricsReporter, RuntimeServer};
+) -> f64 {
+    use gramc_runtime::{MetricsReporter, RuntimeServer, SloConfig, SloMonitor, TenantId};
     use std::sync::Arc;
     use std::time::Duration;
 
     let window = Duration::from_millis(if smoke { 150 } else { 400 });
-    let rt = Arc::new(Runtime::new(2, 2, MacroConfig::small_ideal(64), 6).with_queue_limit(64));
+    // The serving run is dense enough to wrap the default 4096-event ring
+    // many times over; size the journal to keep the whole trace.
+    let rt = Arc::new(
+        Runtime::new(2, 2, MacroConfig::small_ideal(64), 6)
+            .with_queue_limit(64)
+            .with_journal_capacity(1 << 16),
+    );
     let dir = std::path::Path::new(out_path)
         .parent()
         .map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
@@ -189,6 +258,10 @@ fn serving_observatory(
     let metrics_path = dir.join("METRICS_serving.jsonl");
     let reporter = MetricsReporter::start(rt.clone(), &metrics_path, Duration::from_millis(25))
         .expect("start metrics reporter");
+    let slo = SloMonitor::start(
+        rt.clone(),
+        SloConfig { interval: Duration::from_millis(25), ..SloConfig::default() },
+    );
 
     let mut rng = random::seeded_rng(23);
     let a = random::gaussian_matrix(&mut rng, 64, 64);
@@ -231,16 +304,38 @@ fn serving_observatory(
     }
 
     let serve_report = server.shutdown();
+
+    // A two-tenant coalesced burst, drained after the server stopped so
+    // it coalesces deterministically (no worker racing the submits) and
+    // its rider spans sit at the journal tail, where the ring keeps them:
+    // the trace gets linked rider flows for `trace_analyze`, the metrics
+    // stream a non-trivial tenant table.
+    let burst: Vec<_> = (0..64)
+        .map(|k| {
+            rt.submit_mvm_for(TenantId(1 + (k % 2) as u32), op, x.clone())
+                .expect("burst submission")
+        })
+        .collect();
+    rt.run_all();
+    for h in &burst {
+        h.wait().expect("burst completes");
+    }
+
+    let alerts = slo.stop();
     let lines = reporter.stop().expect("stop metrics reporter");
     let trace_path = dir.join("TRACE_serving.json");
     std::fs::write(&trace_path, rt.journal_chrome_trace()).expect("write serving trace");
     println!(
-        "serving observatory: {} jobs served, wrote {} ({} lines) and {}",
+        "serving observatory: {} jobs served, {} SLO alerts, wrote {} ({} lines) and {}",
         serve_report.jobs_executed,
+        alerts.len(),
         metrics_path.display(),
         lines,
         trace_path.display(),
     );
+    meta.push(("serving_slo_alerts".to_string(), alerts.len().to_string()));
+    meta.push(("serving_sustained_rps".to_string(), format!("{capacity:.0}")));
+    capacity
 }
 
 /// Fault sweep: for each stuck-cell rate, serve a fixed MVM workload on a
@@ -391,7 +486,7 @@ fn main() {
         fault_sweep(&mut samples, &mut extra_meta);
         #[cfg(not(feature = "fault-inject"))]
         println!("smoke mode: built without the fault-inject feature, skipping fault sweep");
-        serving_observatory(&out_path, true, &mut samples, &mut extra_meta);
+        let sustained_rps = serving_observatory(&out_path, true, &mut samples, &mut extra_meta);
         let regressed = match &baseline_path {
             Some(p) => {
                 let baseline = std::fs::read_to_string(p).expect("read baseline json");
@@ -415,6 +510,7 @@ fn main() {
             "runtime_sharded_mvm_2",
             &smoke_metrics_snapshot(),
             (4, 64, 64), // 2 shards × 2 macros of 64×64
+            sustained_rps,
             None,
         );
         if !regressed.is_empty() {
@@ -639,7 +735,7 @@ fn main() {
     // ── serving observatory: persistent server under closed- and open-loop
     //    load, bracketing the saturation knee; also writes the serving
     //    trace and live metrics stream next to the report.
-    serving_observatory(&out_path, false, &mut extra_samples, &mut extra_meta);
+    let sustained_rps = serving_observatory(&out_path, false, &mut extra_samples, &mut extra_meta);
 
     let mut meta = vec![
         ("bench", "bench_kernels".to_string()),
@@ -681,6 +777,7 @@ fn main() {
         "runtime_sharded_mvm_4",
         &serving,
         (8, 64, 64), // 4 shards × 2 macros of 64×64
+        sustained_rps,
         Some((16, lenet_hw)),
     );
 }

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod loadgen;
 pub mod timing;
 

@@ -8,6 +8,7 @@ use gramc_linalg::Matrix;
 
 use crate::error::RuntimeError;
 use crate::registry::OperatorHandle;
+use crate::tenant::{RequestId, TenantEntry, TenantId};
 
 /// Result of a completed job.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,16 +29,25 @@ pub enum JobOutput {
 pub(crate) struct Slot {
     state: Mutex<Option<Result<JobOutput, RuntimeError>>>,
     ready: Condvar,
+    /// The submitting tenant's accounting entry; its in-flight unit is
+    /// returned when the slot is first filled. `None` only for slots that
+    /// never went through admission (none today).
+    gate: Option<Arc<TenantEntry>>,
 }
 
 impl Slot {
     /// First write wins: a panic-path error fill never clobbers a result
-    /// the job already delivered.
+    /// the job already delivered. The winning fill releases the tenant's
+    /// in-flight unit — exactly once per request, on every completion
+    /// path (result, typed error, digital fallback, panic fill).
     pub(crate) fn fill(&self, result: Result<JobOutput, RuntimeError>) {
         let mut state = self.state.lock().expect("slot lock");
         if state.is_none() {
             *state = Some(result);
             self.ready.notify_all();
+            if let Some(gate) = &self.gate {
+                gate.release();
+            }
         }
     }
 
@@ -77,11 +87,18 @@ impl Slot {
 #[derive(Debug, Clone)]
 pub struct JobHandle {
     pub(crate) slot: Arc<Slot>,
+    request: RequestId,
 }
 
 impl JobHandle {
-    pub(crate) fn new() -> Self {
-        Self { slot: Arc::new(Slot::default()) }
+    pub(crate) fn new(request: RequestId, gate: Arc<TenantEntry>) -> Self {
+        Self { slot: Arc::new(Slot { gate: Some(gate), ..Slot::default() }), request }
+    }
+
+    /// The request id minted for this submission — the key of its spans
+    /// and flow events in the chrome trace.
+    pub fn request_id(&self) -> RequestId {
+        self.request
     }
 
     /// Blocks until the job has retired and returns its output.
@@ -184,16 +201,57 @@ impl JobKind {
     }
 }
 
+/// Attribution record of one request riding in a job: who submitted it,
+/// its weight in the batch's hardware-counter split, and when it was
+/// submitted (journal clock) for its queue-wait span.
+///
+/// Solo jobs carry exactly one; a hydrated coalesced dispatch carries one
+/// per rider, in submission order (the split's remainder assignment is
+/// keyed to that order, so attribution is deterministic).
+#[derive(Debug, Clone, Copy)]
+// `tenant`/`rows` feed attribution, which is telemetry-only; the meta
+// still rides along without the feature so quota release stays uniform.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+pub(crate) struct RequestMeta {
+    pub request: RequestId,
+    pub tenant: TenantId,
+    /// Row weight of this request in the batch (1 for a coalesced rider,
+    /// the batch size for explicit batch jobs).
+    pub rows: u64,
+    /// Submission timestamp on the journal clock (riders stamp their own;
+    /// enqueued jobs are stamped at ticket assignment — a re-dispatch
+    /// restamps, matching the per-dispatch latency contract).
+    #[cfg(feature = "telemetry")]
+    pub submit_ns: u64,
+}
+
+impl RequestMeta {
+    pub fn new(request: RequestId, tenant: TenantId, rows: u64) -> Self {
+        Self {
+            request,
+            tenant,
+            rows,
+            #[cfg(feature = "telemetry")]
+            submit_ns: 0,
+        }
+    }
+}
+
 /// A scheduled job: target shard, per-shard ticket, payload, the result
 /// slots to fill (exactly one, except `MvmMany`, whose slots live in the
 /// pending batch until it executes — and `MvmSet`, with one per request),
-/// and how many times the recovery policy has already re-dispatched it.
+/// per-request attribution metadata, and how many times the recovery
+/// policy has already re-dispatched it.
 #[derive(Debug)]
 pub(crate) struct Job {
     pub shard: usize,
     pub ticket: u64,
     pub kind: JobKind,
     pub slots: Vec<Arc<Slot>>,
+    /// One record per request riding in this job (parallel to `slots` for
+    /// multi-request kinds). Empty only for an `MvmMany` dispatch before
+    /// hydration drains its pending batch into the job.
+    pub meta: Vec<RequestMeta>,
     pub retries: u32,
     /// Enqueue timestamp feeding the serving histograms (a re-dispatched
     /// job restarts the clock; its measured latency is per dispatch).

@@ -137,7 +137,7 @@
 //!   preallocated ring; [`Runtime::journal_chrome_trace`] exports it for
 //!   chrome://tracing or Perfetto.
 //!
-//! ### Span model
+//! ### Span model and request flows
 //!
 //! Every retired job contributes **two abutting duration spans** that
 //! together cover submit→complete:
@@ -155,6 +155,45 @@
 //! instants mark admission-control rejections; health events keep their
 //! own `health` category.
 //!
+//! On top of the spans, every submission is **request-scoped**: each
+//! `submit_*` mints a [`RequestId`] (returned via
+//! [`JobHandle::request_id`]) and the trace links that request's causal
+//! chain with chrome *flow events* (`cat:"flow"`, keyed by the id). The
+//! lead request of a dispatch owns the `queued:<kind>` span; every
+//! coalesced **rider** gets its own `queued:rider` span from its own
+//! submission instant to dispatch — so "coalesce wait" is separable from
+//! "queue wait" — and each request's flow arrow lands inside the shared
+//! execution span, surviving coalescing and work-stealing. Flow-carrying
+//! queue spans also expose the id as `args.req`, which is what the
+//! offline `trace_analyze` tool (see below) keys on.
+//!
+//! ### Tenants
+//!
+//! Submissions belong to a [`TenantId`]: the plain `submit_*` APIs run as
+//! [`TenantId::DEFAULT`], the `submit_*_for(tenant, ...)` variants name
+//! one. Per tenant the runtime keeps a submit→complete latency histogram,
+//! an in-flight gauge and its **exact share of the hardware counters**: a
+//! coalesced batch's counter delta is split among its riders
+//! proportionally to row counts with largest-remainder integer
+//! assignment, so tenant shares always sum bit-exactly to `hw_total`
+//! (conservation is pinned by test). Shares price through
+//! [`AnalogCostModel`](gramc_core::metrics::AnalogCostModel) into
+//! per-tenant joules. [`Runtime::with_tenant_quota`] adds fair admission:
+//! a tenant at its [`TenantQuota`] in-flight bound gets typed
+//! [`RuntimeError::QueueFull`] rejections (riders count — each holds a
+//! result slot) before it can starve other tenants.
+//!
+//! ### SLO monitoring
+//!
+//! [`SloMonitor`] is a background thread evaluating an [`SloConfig`]
+//! against the live telemetry the SRE way: latency and rejection error
+//! budgets consumed at a measured burn rate over a short and a long
+//! window simultaneously (the short window trips fast, the long one keeps
+//! transients from paging; hysteresis re-arms only after the short-window
+//! burn recovers). Alerts are typed ([`SloAlert`]), journaled in the
+//! `slo` category and surfaced in the `slo` section of
+//! [`MetricsSnapshot`].
+//!
 //! ### Metrics JSONL stream
 //!
 //! [`MetricsReporter`] snapshots a served runtime on a fixed interval and
@@ -163,9 +202,16 @@
 //! `schema_version`, the three stage histograms (`count`, `mean_ns`, the
 //! `p50/p90/p99/p999/max` ladder), `queue_depth` / `queue_depth_max` /
 //! `rejected`, per-shard scheduler counters with `busy_ns` utilization
-//! numerators, per-kind job counts with hardware attribution and modeled
-//! cost, and the journal fill level. Consumers tail the file; the schema
-//! version is pinned by test.
+//! numerators, and per-kind job counts with hardware attribution and
+//! modeled cost. Schema **v3** added the `tenants` section (per-tenant
+//! in-flight/requests/rejected, latency histogram, exact hardware share
+//! and modeled joules), the `slo` section (alert counts, current
+//! short-window burn rates, alerting flags) and widened `journal` to
+//! `{len, capacity, overwritten, dropped_since_last, drop_rate}` — the
+//! ring is sized at construction with [`Runtime::with_journal_capacity`],
+//! and a nonzero `drop_rate` means the ring wrapped within the reporting
+//! interval. Consumers tail the file; the schema version is pinned by
+//! test.
 //!
 //! ### Load observatory
 //!
@@ -185,6 +231,19 @@
 //! like the other runtime benches). The bench smoke mode exports
 //! `TRACE_serving.json` (chrome trace of a served sample run) and
 //! `METRICS_serving.jsonl` (live reporter output), both validated in CI.
+//!
+//! The exported pair feeds the offline analyzer:
+//!
+//! ```sh
+//! cargo run -p gramc-bench --bin trace_analyze -- \
+//!     TRACE_serving.json METRICS_serving.jsonl [--top N] [--check]
+//! ```
+//!
+//! It follows each request's flow events to print a critical-path
+//! breakdown (queue wait vs coalesce wait vs execute), the per-tenant
+//! cost table from the final metrics record and the top-N slowest
+//! requests; `--check` (CI mode) fails on parse errors, unlinked rider
+//! flows or tenant attribution that does not sum exactly to `hw_total`.
 //!
 //! ## Persistent serving
 //!
@@ -216,7 +275,10 @@ mod registry;
 mod runtime;
 mod server;
 #[cfg(feature = "telemetry")]
+mod slo;
+#[cfg(feature = "telemetry")]
 mod telemetry;
+mod tenant;
 mod tiling;
 
 pub use error::RuntimeError;
@@ -225,6 +287,7 @@ pub use job::{JobHandle, JobOutput};
 pub use registry::{OperatorHandle, Placement};
 pub use runtime::{QueuePolicy, RunSummary, Runtime};
 pub use server::{RuntimeServer, ServeReport};
+pub use tenant::{RequestId, TenantId, TenantQuota};
 pub use tiling::ShardedTiledOperator;
 
 pub use gramc_core::{ProbeReport, ProgramOutcome};
@@ -232,11 +295,16 @@ pub use gramc_core::{ProbeReport, ProgramOutcome};
 #[cfg(feature = "telemetry")]
 pub use server::MetricsReporter;
 #[cfg(feature = "telemetry")]
-pub use telemetry::{KindMetrics, MetricsSnapshot, ShardMetrics, METRICS_SCHEMA_VERSION};
+pub use slo::{SloAlert, SloAlertKind, SloConfig, SloMonitor};
+#[cfg(feature = "telemetry")]
+pub use telemetry::{
+    KindMetrics, MetricsSnapshot, ShardMetrics, SloMetrics, TenantMetrics, METRICS_SCHEMA_VERSION,
+};
 
 #[cfg(feature = "telemetry")]
 pub use gramc_telemetry::{
-    EventJournal, HistogramSnapshot, HwCounters, HwSnapshot, JournalEvent, LatencyHistogram,
+    EventJournal, FlowPhase, HistogramSnapshot, HwCounters, HwSnapshot, JournalEvent,
+    LatencyHistogram,
 };
 
 #[cfg(feature = "fault-inject")]

@@ -12,16 +12,18 @@ use gramc_core::FaultConfig;
 use gramc_core::{CoreError, MacroConfig, MacroGroup, ProbeReport};
 use gramc_linalg::{lu, qr, vector, Matrix};
 #[cfg(feature = "telemetry")]
-use gramc_telemetry::{HwSnapshot, JournalEvent};
+use gramc_telemetry::{FlowPhase, HwSnapshot, JournalEvent};
 
 use crate::error::RuntimeError;
 use crate::health::{HealthConfig, HealthEvent, ShardHealth};
-use crate::job::{Job, JobHandle, JobKind, JobOutput, Slot};
+use crate::job::{Job, JobHandle, JobKind, JobOutput, RequestMeta, Slot};
 use crate::registry::{ExecTarget, FreeTarget, OperatorHandle, Placement, Registry};
 #[cfg(feature = "telemetry")]
 use crate::telemetry::{
-    kind_index, kind_queued_name, kind_span_name, MetricsSnapshot, RtTelemetry, WORKER_LANE_BASE,
+    kind_index, kind_queued_name, kind_span_name, split_hw, MetricsSnapshot, RtTelemetry,
+    WORKER_LANE_BASE,
 };
+use crate::tenant::{RequestId, TenantEntry, TenantId, TenantQuota, TenantTable};
 
 /// Where submitted jobs are enqueued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,11 +90,13 @@ struct Shard {
 }
 
 /// MVM requests against one operator, awaiting their batch's dispatch job
-/// (enqueued by the first request).
+/// (enqueued by the first request). The three vectors run parallel, in
+/// submission order.
 #[derive(Debug, Default)]
 struct PendingMvms {
     xs: Vec<Vec<f64>>,
     slots: Vec<Arc<Slot>>,
+    meta: Vec<RequestMeta>,
 }
 
 /// A sharded analog runtime over `N` independent [`MacroGroup`] shards.
@@ -139,6 +143,13 @@ pub struct Runtime {
     /// Parking/wake state of persistent serving workers
     /// ([`RuntimeServer`](crate::RuntimeServer)).
     serve: ServeState,
+    /// Monotonic request-id mint (ids start at 1; 0 means "none").
+    next_request: AtomicU64,
+    /// Per-tenant accounting entries, created on first contact.
+    tenants: TenantTable,
+    /// Per-tenant fair-admission quota; `None` (the default) admits
+    /// everything.
+    tenant_quota: Option<TenantQuota>,
     queue_policy: QueuePolicy,
     executed: Vec<AtomicUsize>,
     stolen: AtomicUsize,
@@ -199,6 +210,9 @@ impl Runtime {
             remaining: AtomicUsize::new(0),
             queue_limit: None,
             serve: ServeState::default(),
+            next_request: AtomicU64::new(0),
+            tenants: TenantTable::default(),
+            tenant_quota: None,
             queue_policy,
             executed: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
             stolen: AtomicUsize::new(0),
@@ -248,6 +262,66 @@ impl Runtime {
     /// The admission bound, if one is set.
     pub fn queue_limit(&self) -> Option<usize> {
         self.queue_limit
+    }
+
+    /// Applies a per-tenant fair-admission quota (builder style): while a
+    /// tenant already has [`TenantQuota::max_in_flight`] unretired
+    /// requests, its further submissions — riders joining a coalesced
+    /// batch included — are rejected with [`RuntimeError::QueueFull`]
+    /// carrying the quota as its `limit`. Other tenants are unaffected, so
+    /// one tenant's flood backs up on itself instead of starving the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quota.max_in_flight == 0` — a tenant that may submit
+    /// nothing deadlocks every caller.
+    #[must_use]
+    pub fn with_tenant_quota(mut self, quota: TenantQuota) -> Self {
+        assert!(quota.max_in_flight > 0, "a zero tenant quota would reject every submission");
+        self.tenant_quota = Some(quota);
+        self
+    }
+
+    /// The per-tenant admission quota, if one is set.
+    pub fn tenant_quota(&self) -> Option<TenantQuota> {
+        self.tenant_quota
+    }
+
+    /// Resizes the event-journal ring (builder style; default 4096
+    /// events). Serving runs dense enough to wrap the default ring surface
+    /// a non-zero drop rate in the metrics stream — size the ring to the
+    /// run instead of losing the early spans.
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.telemetry.journal = gramc_telemetry::EventJournal::new(capacity);
+        self
+    }
+
+    /// Mints the next request id (unique per runtime lifetime, starting
+    /// at 1).
+    fn mint_request(&self) -> RequestId {
+        RequestId(self.next_request.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Tenant-quota admission: takes one in-flight unit for the request,
+    /// or rejects it with [`RuntimeError::QueueFull`] when the tenant sits
+    /// at its quota. Called as the **last** fallible step of every submit
+    /// path, so a rejected submission has taken no state.
+    fn admit_tenant(&self, entry: &TenantEntry) -> Result<(), RuntimeError> {
+        let limit = self.tenant_quota.map(|q| q.max_in_flight);
+        if !entry.try_acquire(limit) {
+            let limit = limit.expect("acquire only fails under a quota");
+            entry.rejected.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "telemetry")]
+            {
+                self.telemetry.rejected.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.journal.instant("rejected_tenant", "runtime", limit as u64, 0);
+            }
+            return Err(RuntimeError::QueueFull { limit });
+        }
+        entry.requests.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Admission control: rejects the submission while the queue sits at or
@@ -329,13 +403,20 @@ impl Runtime {
     /// Takes the next ticket of `shard` and enqueues the job under the
     /// queue policy. The queue lock is held across ticket assignment so
     /// queue order equals ticket order for every shard.
-    fn enqueue(&self, shard: usize, kind: JobKind, slots: Vec<Arc<Slot>>) {
-        self.enqueue_job(shard, kind, slots, 0);
+    fn enqueue(&self, shard: usize, kind: JobKind, slots: Vec<Arc<Slot>>, meta: Vec<RequestMeta>) {
+        self.enqueue_job(shard, kind, slots, meta, 0);
     }
 
     /// [`enqueue`](Self::enqueue) carrying a retry count — how the recovery
     /// path re-dispatches failed or migrated jobs.
-    fn enqueue_job(&self, shard: usize, kind: JobKind, slots: Vec<Arc<Slot>>, retries: u32) {
+    fn enqueue_job(
+        &self,
+        shard: usize,
+        kind: JobKind,
+        slots: Vec<Arc<Slot>>,
+        #[allow(unused_mut)] mut meta: Vec<RequestMeta>,
+        retries: u32,
+    ) {
         let q = match self.queue_policy {
             QueuePolicy::HomeShard => shard,
             QueuePolicy::Fixed(q) => q,
@@ -347,6 +428,13 @@ impl Runtime {
         let submit_ns = self.telemetry.journal.now_ns();
         #[cfg(feature = "telemetry")]
         {
+            // Riders stamp themselves at their own submission; the job's
+            // requests are stamped here, at ticket assignment (a
+            // re-dispatch restamps — per-dispatch latency, matching the
+            // serving histograms).
+            for m in &mut meta {
+                m.submit_ns = submit_ns;
+            }
             self.telemetry.queue_depth_max.fetch_max(prev_depth + 1, Ordering::Relaxed);
             self.telemetry.journal.record(JournalEvent {
                 name: "submit",
@@ -355,6 +443,7 @@ impl Runtime {
                 dur_ns: 0,
                 arg_a: shard as u64,
                 arg_b: ticket,
+                ..JournalEvent::default()
             });
         }
         #[cfg(not(feature = "telemetry"))]
@@ -364,6 +453,7 @@ impl Runtime {
             ticket,
             kind,
             slots,
+            meta,
             retries,
             #[cfg(feature = "telemetry")]
             submitted: std::time::Instant::now(),
@@ -405,17 +495,50 @@ impl Runtime {
         mapping: TileMapping,
         placement: Placement,
     ) -> Result<(OperatorHandle, JobHandle), RuntimeError> {
+        self.submit_load_for(TenantId::DEFAULT, a, mapping, placement)
+    }
+
+    /// [`submit_load`](Self::submit_load) attributed to an explicit tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_load`](Self::submit_load), plus
+    /// [`RuntimeError::QueueFull`] when `tenant` sits at its quota.
+    pub fn submit_load_for(
+        &self,
+        tenant: TenantId,
+        a: &Matrix,
+        mapping: TileMapping,
+        placement: Placement,
+    ) -> Result<(OperatorHandle, JobHandle), RuntimeError> {
         self.admit()?;
+        let entry = self.tenants.entry(tenant);
+        self.admit_tenant(&entry)?;
         let matrix = Arc::new(a.clone());
-        let (handle, shard) = self.registry.lock().expect("registry lock").place(
+        let placed = self.registry.lock().expect("registry lock").place(
             placement,
             a.rows(),
             a.cols(),
             matrix.clone(),
             mapping,
-        )?;
-        let jh = JobHandle::new();
-        self.enqueue(shard, JobKind::Load { handle, matrix, mapping }, vec![jh.slot.clone()]);
+        );
+        let (handle, shard) = match placed {
+            Ok(p) => p,
+            Err(e) => {
+                // Admission succeeded but placement did not: hand the
+                // in-flight unit back, the request never existed.
+                entry.release();
+                return Err(e);
+            }
+        };
+        let request = self.mint_request();
+        let jh = JobHandle::new(request, entry);
+        self.enqueue(
+            shard,
+            JobKind::Load { handle, matrix, mapping },
+            vec![jh.slot.clone()],
+            vec![RequestMeta::new(request, tenant, 1)],
+        );
         Ok((handle, jh))
     }
 
@@ -437,24 +560,60 @@ impl Runtime {
     /// that would *open* a batch is subject to the bound — a rider joining
     /// an already-open batch adds no queue entry).
     pub fn submit_mvm(&self, op: OperatorHandle, x: Vec<f64>) -> Result<JobHandle, RuntimeError> {
+        self.submit_mvm_for(TenantId::DEFAULT, op, x)
+    }
+
+    /// [`submit_mvm`](Self::submit_mvm) attributed to an explicit tenant.
+    /// Riders joining an open batch keep their own [`RequestId`] and
+    /// tenant — the batch executes once, but its cost is split among the
+    /// riders and each rider's causal chain stays visible in the trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_mvm`](Self::submit_mvm), plus
+    /// [`RuntimeError::QueueFull`] when `tenant` sits at its quota (riders
+    /// are subject to the tenant quota even though they add no queue
+    /// entry — each holds a result slot).
+    pub fn submit_mvm_for(
+        &self,
+        tenant: TenantId,
+        op: OperatorHandle,
+        x: Vec<f64>,
+    ) -> Result<JobHandle, RuntimeError> {
         let (shard, cols) = self.registry.lock().expect("registry lock").shard_and_cols(op)?;
         if x.len() != cols {
             return Err(CoreError::ShapeMismatch { expected: cols, found: x.len() }.into());
         }
         Self::check_finite(&x)?;
-        let jh = JobHandle::new();
+        let entry = self.tenants.entry(tenant);
         // The pending lock is held across the enqueue so opening the batch
         // and taking its ticket are atomic.
         let mut pending = self.pending_mvm.lock().expect("pending lock");
-        let entry = pending.entry(op).or_default();
-        let opens_batch = entry.xs.is_empty();
+        let batch = pending.entry(op).or_default();
+        let opens_batch = batch.xs.is_empty();
         if opens_batch {
             self.admit()?;
         }
-        entry.xs.push(x);
-        entry.slots.push(jh.slot.clone());
+        // Tenant admission is the last fallible step: a rejected request
+        // has joined nothing.
+        self.admit_tenant(&entry)?;
+        let request = self.mint_request();
+        let jh = JobHandle::new(request, entry);
+        #[allow(unused_mut)]
+        let mut m = RequestMeta::new(request, tenant, 1);
+        #[cfg(feature = "telemetry")]
+        {
+            // Riders stamp their own submission time — their queue wait
+            // starts here, not at the batch's ticket.
+            m.submit_ns = self.telemetry.journal.now_ns();
+        }
+        batch.xs.push(x);
+        batch.slots.push(jh.slot.clone());
+        batch.meta.push(m);
         if opens_batch {
-            self.enqueue(shard, JobKind::MvmMany { handle: op }, Vec::new());
+            // The dispatch job starts empty: hydration drains the pending
+            // batch (slots and meta included) when it executes.
+            self.enqueue(shard, JobKind::MvmMany { handle: op }, Vec::new(), Vec::new());
         } else {
             // Joined an already-open batch: no new job, just one more rider.
             #[cfg(feature = "telemetry")]
@@ -462,7 +621,7 @@ impl Runtime {
                 "coalesce",
                 "runtime",
                 shard as u64,
-                entry.xs.len() as u64,
+                batch.xs.len() as u64,
             );
         }
         Ok(jh)
@@ -480,13 +639,39 @@ impl Runtime {
         op: OperatorHandle,
         xs: Vec<Vec<f64>>,
     ) -> Result<JobHandle, RuntimeError> {
+        self.submit_mvm_batch_for(TenantId::DEFAULT, op, xs)
+    }
+
+    /// [`submit_mvm_batch`](Self::submit_mvm_batch) attributed to an
+    /// explicit tenant. The batch is one request of weight `xs.len()` in
+    /// the tenant's cost attribution.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_mvm_batch`](Self::submit_mvm_batch), plus
+    /// [`RuntimeError::QueueFull`] when `tenant` sits at its quota.
+    pub fn submit_mvm_batch_for(
+        &self,
+        tenant: TenantId,
+        op: OperatorHandle,
+        xs: Vec<Vec<f64>>,
+    ) -> Result<JobHandle, RuntimeError> {
         self.admit()?;
         let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
         for x in &xs {
             Self::check_finite(x)?;
         }
-        let jh = JobHandle::new();
-        self.enqueue(shard, JobKind::MvmBatch { handle: op, xs }, vec![jh.slot.clone()]);
+        let entry = self.tenants.entry(tenant);
+        self.admit_tenant(&entry)?;
+        let request = self.mint_request();
+        let rows = xs.len().max(1) as u64;
+        let jh = JobHandle::new(request, entry);
+        self.enqueue(
+            shard,
+            JobKind::MvmBatch { handle: op, xs },
+            vec![jh.slot.clone()],
+            vec![RequestMeta::new(request, tenant, rows)],
+        );
         Ok(jh)
     }
 
@@ -501,11 +686,35 @@ impl Runtime {
         op: OperatorHandle,
         b: Vec<f64>,
     ) -> Result<JobHandle, RuntimeError> {
+        self.submit_solve_inv_for(TenantId::DEFAULT, op, b)
+    }
+
+    /// [`submit_solve_inv`](Self::submit_solve_inv) attributed to an
+    /// explicit tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_solve_inv`](Self::submit_solve_inv), plus
+    /// [`RuntimeError::QueueFull`] when `tenant` sits at its quota.
+    pub fn submit_solve_inv_for(
+        &self,
+        tenant: TenantId,
+        op: OperatorHandle,
+        b: Vec<f64>,
+    ) -> Result<JobHandle, RuntimeError> {
         self.admit()?;
         let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
         Self::check_finite(&b)?;
-        let jh = JobHandle::new();
-        self.enqueue(shard, JobKind::SolveInv { handle: op, b }, vec![jh.slot.clone()]);
+        let entry = self.tenants.entry(tenant);
+        self.admit_tenant(&entry)?;
+        let request = self.mint_request();
+        let jh = JobHandle::new(request, entry);
+        self.enqueue(
+            shard,
+            JobKind::SolveInv { handle: op, b },
+            vec![jh.slot.clone()],
+            vec![RequestMeta::new(request, tenant, 1)],
+        );
         Ok(jh)
     }
 
@@ -521,13 +730,38 @@ impl Runtime {
         op: OperatorHandle,
         bs: Vec<Vec<f64>>,
     ) -> Result<JobHandle, RuntimeError> {
+        self.submit_solve_inv_batch_for(TenantId::DEFAULT, op, bs)
+    }
+
+    /// [`submit_solve_inv_batch`](Self::submit_solve_inv_batch) attributed
+    /// to an explicit tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_solve_inv_batch`](Self::submit_solve_inv_batch), plus
+    /// [`RuntimeError::QueueFull`] when `tenant` sits at its quota.
+    pub fn submit_solve_inv_batch_for(
+        &self,
+        tenant: TenantId,
+        op: OperatorHandle,
+        bs: Vec<Vec<f64>>,
+    ) -> Result<JobHandle, RuntimeError> {
         self.admit()?;
         let shard = self.registry.lock().expect("registry lock").shard_of(op)?;
         for b in &bs {
             Self::check_finite(b)?;
         }
-        let jh = JobHandle::new();
-        self.enqueue(shard, JobKind::SolveInvBatch { handle: op, bs }, vec![jh.slot.clone()]);
+        let entry = self.tenants.entry(tenant);
+        self.admit_tenant(&entry)?;
+        let request = self.mint_request();
+        let rows = bs.len().max(1) as u64;
+        let jh = JobHandle::new(request, entry);
+        self.enqueue(
+            shard,
+            JobKind::SolveInvBatch { handle: op, bs },
+            vec![jh.slot.clone()],
+            vec![RequestMeta::new(request, tenant, rows)],
+        );
         Ok(jh)
     }
 
@@ -546,6 +780,22 @@ impl Runtime {
         op: OperatorHandle,
         bs: Vec<Vec<f64>>,
     ) -> Result<JobHandle, RuntimeError> {
+        self.submit_solve_pinv_batch_for(TenantId::DEFAULT, op, bs)
+    }
+
+    /// [`submit_solve_pinv_batch`](Self::submit_solve_pinv_batch)
+    /// attributed to an explicit tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_solve_pinv_batch`](Self::submit_solve_pinv_batch), plus
+    /// [`RuntimeError::QueueFull`] when `tenant` sits at its quota.
+    pub fn submit_solve_pinv_batch_for(
+        &self,
+        tenant: TenantId,
+        op: OperatorHandle,
+        bs: Vec<Vec<f64>>,
+    ) -> Result<JobHandle, RuntimeError> {
         self.admit()?;
         let (shard, rows) = self.registry.lock().expect("registry lock").shard_and_rows(op)?;
         for b in &bs {
@@ -554,8 +804,17 @@ impl Runtime {
             }
             Self::check_finite(b)?;
         }
-        let jh = JobHandle::new();
-        self.enqueue(shard, JobKind::SolvePinvBatch { handle: op, bs }, vec![jh.slot.clone()]);
+        let entry = self.tenants.entry(tenant);
+        self.admit_tenant(&entry)?;
+        let request = self.mint_request();
+        let weight = bs.len().max(1) as u64;
+        let jh = JobHandle::new(request, entry);
+        self.enqueue(
+            shard,
+            JobKind::SolvePinvBatch { handle: op, bs },
+            vec![jh.slot.clone()],
+            vec![RequestMeta::new(request, tenant, weight)],
+        );
         Ok(jh)
     }
 
@@ -572,9 +831,23 @@ impl Runtime {
     /// [`RuntimeError::QueueFull`] past the admission bound.
     pub fn submit_free(&self, op: OperatorHandle) -> Result<JobHandle, RuntimeError> {
         self.admit()?;
-        let shard = self.registry.lock().expect("registry lock").queue_free(op)?;
-        let jh = JobHandle::new();
-        self.enqueue(shard, JobKind::Free { handle: op }, vec![jh.slot.clone()]);
+        let entry = self.tenants.entry(TenantId::DEFAULT);
+        self.admit_tenant(&entry)?;
+        let shard = match self.registry.lock().expect("registry lock").queue_free(op) {
+            Ok(shard) => shard,
+            Err(e) => {
+                entry.release();
+                return Err(e);
+            }
+        };
+        let request = self.mint_request();
+        let jh = JobHandle::new(request, entry);
+        self.enqueue(
+            shard,
+            JobKind::Free { handle: op },
+            vec![jh.slot.clone()],
+            vec![RequestMeta::new(request, TenantId::DEFAULT, 1)],
+        );
         Ok(jh)
     }
 
@@ -730,13 +1003,24 @@ impl Runtime {
     /// loads); callable at any time, including between drains.
     #[cfg(feature = "telemetry")]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot::capture(&self.telemetry, self.remaining.load(Ordering::SeqCst))
+        MetricsSnapshot::capture(
+            &self.telemetry,
+            self.remaining.load(Ordering::SeqCst),
+            &self.tenants.entries(),
+        )
+    }
+
+    /// The telemetry sink, for in-crate observers (the SLO monitor).
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn rt_telemetry(&self) -> &RtTelemetry {
+        &self.telemetry
     }
 
     /// Total hardware counters summed across every shard's macro group.
-    /// Unlike the per-kind attribution in [`metrics_snapshot`]
-    /// (Self::metrics_snapshot), this includes work driven through
-    /// [`shard_group`](Self::shard_group) directly. Briefly locks each
+    /// Unlike the per-kind attribution in
+    /// [`metrics_snapshot`](Self::metrics_snapshot), this includes work
+    /// driven through [`shard_group`](Self::shard_group) directly. Briefly
+    /// locks each
     /// group in turn — do not call while holding a shard group guard.
     #[cfg(feature = "telemetry")]
     pub fn hw_snapshot(&self) -> HwSnapshot {
@@ -904,7 +1188,7 @@ impl Runtime {
     /// mid-execution on another worker lands here, so the wait is
     /// bounded). Workers never block holding a job, which is what keeps
     /// stealing deadlock-free.
-    fn try_execute(&self, w: usize, job: Job) -> bool {
+    fn try_execute(&self, w: usize, mut job: Job) -> bool {
         let shard = &self.shards[job.shard];
         if !self.is_due(&job) {
             self.queues[w].lock().expect("queue lock").push_back(job);
@@ -915,7 +1199,12 @@ impl Runtime {
         // shard forever while `std::thread::scope` waits for them. Its
         // slots are filled with `JobPanicked` so waiters on other threads
         // wake with an error instead of hanging; the panic itself is
-        // re-raised below and propagates out of `run_all`.
+        // re-raised below and propagates out of `run_all`. (A coalesced
+        // dispatch hydrates its riders' slots into the job before
+        // executing, so the panic fill covers them too.)
+        //
+        // `kind_ix` is taken *before* hydration turns an `MvmMany` into an
+        // `MvmSet`, so coalesced batches keep attributing as `mvm_many`.
         #[cfg(feature = "telemetry")]
         let (dispatched, span_start, kind_ix) =
             (std::time::Instant::now(), self.telemetry.journal.now_ns(), kind_index(&job.kind));
@@ -924,14 +1213,35 @@ impl Runtime {
             // Snapshot-diff under the shard lock: no other job of this
             // shard can interleave, so the delta is exactly this job's.
             #[cfg(feature = "telemetry")]
-            let hw_before = group.hw_snapshot();
-            let verdict = self.run_kind(&mut group, &job);
-            #[cfg(feature = "telemetry")]
-            self.telemetry.record_job(kind_ix, &group.hw_snapshot().since(&hw_before));
-            verdict
+            {
+                let hw_before = group.hw_snapshot();
+                let verdict = self.run_kind(&mut group, &mut job);
+                (verdict, group.hw_snapshot().since(&hw_before))
+            }
+            #[cfg(not(feature = "telemetry"))]
+            {
+                self.run_kind(&mut group, &mut job)
+            }
         }));
         shard.exec_ticket.store(job.ticket + 1, Ordering::SeqCst);
         self.executed[w].fetch_add(1, Ordering::SeqCst);
+        // Aggregation happens outside the shard lock (only the snapshot
+        // diff needs it): global per-kind counters first, then the
+        // tenant split — each rider's share proportional to its row
+        // weight, remainder-exact, so the tenant totals always sum to the
+        // per-kind totals bit-for-bit.
+        #[cfg(feature = "telemetry")]
+        let run = run.map(|(verdict, delta)| {
+            self.telemetry.record_job(kind_ix, &delta);
+            if !job.meta.is_empty() {
+                let weights: Vec<u64> = job.meta.iter().map(|m| m.rows).collect();
+                let shares = split_hw(&delta, &weights);
+                for (m, share) in job.meta.iter().zip(&shares) {
+                    self.tenants.entry(m.tenant).hw.add_snapshot(share);
+                }
+            }
+            verdict
+        });
         #[cfg(feature = "telemetry")]
         {
             let completed = std::time::Instant::now();
@@ -943,9 +1253,21 @@ impl Runtime {
             t.submit_to_complete
                 .record_ns(completed.duration_since(job.submitted).as_nanos() as u64);
             t.per_shard[job.shard].busy_ns.fetch_add(exec_ns, Ordering::Relaxed);
+            let exec_dur = exec_ns.max(1);
+            let end_ns = span_start + exec_dur;
+            // Per-tenant latency: one record per riding request, per
+            // dispatch (a re-dispatched job restarts the clock, matching
+            // the global serving histograms).
+            for m in &job.meta {
+                self.tenants.entry(m.tenant).latency.record_ns(end_ns.saturating_sub(m.submit_ns));
+            }
             // The submit→complete breakdown as two abutting duration spans:
             // the queue wait on the job's shard lane, the execution on the
-            // executing worker's lane.
+            // executing worker's lane. The queued span doubles as the lead
+            // request's flow *start*; riders of a hydrated coalesced batch
+            // get their own queue-wait span (their wait began at their own
+            // submission) starting their own flow.
+            let lead_flow = job.meta.first().map_or(0, |m| m.request.0);
             t.journal.record(JournalEvent {
                 name: kind_queued_name(kind_ix),
                 category: "runtime",
@@ -953,14 +1275,45 @@ impl Runtime {
                 dur_ns: span_start.saturating_sub(job.submit_ns).max(1),
                 arg_a: job.shard as u64,
                 arg_b: job.ticket,
+                flow: if lead_flow == 0 { FlowPhase::None } else { FlowPhase::Start },
+                flow_id: lead_flow,
             });
-            t.journal.span(
-                kind_span_name(kind_ix),
-                "runtime",
-                span_start,
-                WORKER_LANE_BASE + w as u64,
-                job.ticket,
-            );
+            for m in job.meta.iter().skip(1) {
+                t.journal.record(JournalEvent {
+                    name: "queued:rider",
+                    category: "runtime",
+                    ts_ns: m.submit_ns,
+                    dur_ns: span_start.saturating_sub(m.submit_ns).max(1),
+                    arg_a: job.shard as u64,
+                    arg_b: job.ticket,
+                    flow: FlowPhase::Start,
+                    flow_id: m.request.0,
+                });
+            }
+            // The execution span, recorded explicitly so each request's
+            // flow *end* can land at its midpoint — that is how chrome
+            // (and `trace_analyze`) bind the arrows to this slice.
+            t.journal.record(JournalEvent {
+                name: kind_span_name(kind_ix),
+                category: "runtime",
+                ts_ns: span_start,
+                dur_ns: exec_dur,
+                arg_a: WORKER_LANE_BASE + w as u64,
+                arg_b: job.ticket,
+                ..JournalEvent::default()
+            });
+            for m in &job.meta {
+                t.journal.record(JournalEvent {
+                    name: "req",
+                    category: "flow",
+                    ts_ns: span_start + exec_dur / 2,
+                    dur_ns: 0,
+                    arg_a: WORKER_LANE_BASE + w as u64,
+                    arg_b: m.rows,
+                    flow: FlowPhase::End,
+                    flow_id: m.request.0,
+                });
+            }
         }
         // Recovery runs here, after the group lock is released — healing
         // locks other shards' groups and must never do so while holding
@@ -969,13 +1322,13 @@ impl Runtime {
         // can never make `remaining` touch zero and end the drain early.
         match run {
             Ok(Verdict::Done) => {}
-            Ok(Verdict::Requeue { to, kind, slots }) => {
+            Ok(Verdict::Requeue { to, kind, slots, meta }) => {
                 #[cfg(feature = "telemetry")]
                 self.telemetry.per_shard[job.shard].requeues.fetch_add(1, Ordering::Relaxed);
-                self.enqueue_job(to, kind, slots, job.retries);
+                self.enqueue_job(to, kind, slots, meta, job.retries);
             }
-            Ok(Verdict::Failed { kind, slots }) => {
-                self.handle_failure(job.shard, job.retries, kind, slots);
+            Ok(Verdict::Failed { kind, slots, meta }) => {
+                self.handle_failure(job.shard, job.retries, kind, slots, meta);
             }
             Ok(Verdict::ShardSuspect) => {
                 self.note_failure(job.shard);
@@ -996,7 +1349,24 @@ impl Runtime {
     /// and reports what the recovery path (running later, outside the
     /// group lock) must do. The registry lock is only ever taken *inside*
     /// (leaf lock).
-    fn run_kind(&self, group: &mut MacroGroup, job: &Job) -> Verdict {
+    ///
+    /// An `MvmMany` dispatch is **hydrated** first: the operator's pending
+    /// batch (inputs, result slots, request metadata) drains into the job
+    /// and the kind becomes `MvmSet` — so by the time anything can fail or
+    /// panic, the riders' slots are the job's slots and every completion
+    /// path in [`try_execute`](Self::try_execute) covers them.
+    fn run_kind(&self, group: &mut MacroGroup, job: &mut Job) -> Verdict {
+        if let JobKind::MvmMany { handle } = &job.kind {
+            let handle = *handle;
+            // Drain whatever the batch accumulated between its opening
+            // submission and now (nothing, if a redundant dispatch raced).
+            let Some(batch) = self.pending_mvm.lock().expect("pending lock").remove(&handle) else {
+                return Verdict::Done;
+            };
+            job.kind = JobKind::MvmSet { handle, xs: batch.xs };
+            job.slots = batch.slots;
+            job.meta = batch.meta;
+        }
         // One registry lookup decides where a compute job actually runs.
         // A job whose operator is still homed on a *quarantined* shard hit
         // the migration window: bounce it (a requeue that burns no retry)
@@ -1018,67 +1388,8 @@ impl Runtime {
             }
         };
         match &job.kind {
-            JobKind::MvmMany { handle } => {
-                // Drain whatever the batch accumulated between its opening
-                // submission and now. The drained slots only live in this
-                // arm, so a panicking dispatch is caught here to wake the
-                // batch's waiters (try_execute covers every other kind via
-                // the job's own slots) before re-raising.
-                let Some(batch) = self.pending_mvm.lock().expect("pending lock").remove(handle)
-                else {
-                    return Verdict::Done;
-                };
-                let id = match route(*handle) {
-                    Route::Fail(e) => {
-                        for slot in &batch.slots {
-                            slot.fill(Err(e.clone()));
-                        }
-                        return Verdict::Done;
-                    }
-                    Route::Digital(m) => {
-                        for (slot, x) in batch.slots.iter().zip(&batch.xs) {
-                            slot.fill(Ok(JobOutput::Vector(m.matvec(x))));
-                        }
-                        self.degraded.fetch_add(1, Ordering::SeqCst);
-                        return Verdict::Done;
-                    }
-                    Route::Requeue(to) => {
-                        return Verdict::Requeue {
-                            to,
-                            kind: JobKind::MvmSet { handle: *handle, xs: batch.xs },
-                            slots: batch.slots,
-                        };
-                    }
-                    Route::Run(id) => id,
-                };
-                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    group.mvm_batch(id, &batch.xs).map_err(RuntimeError::from)
-                }));
-                match run {
-                    Ok(Ok(ys)) => {
-                        if !self.mvm_residuals_ok(group, id, &batch.xs, &ys) {
-                            return Verdict::Failed {
-                                kind: JobKind::MvmSet { handle: *handle, xs: batch.xs },
-                                slots: batch.slots,
-                            };
-                        }
-                        for (slot, y) in batch.slots.iter().zip(ys) {
-                            slot.fill(Ok(JobOutput::Vector(y)));
-                        }
-                    }
-                    Ok(Err(e)) => {
-                        for slot in &batch.slots {
-                            slot.fill(Err(e.clone()));
-                        }
-                    }
-                    Err(payload) => {
-                        for slot in &batch.slots {
-                            slot.fill(Err(RuntimeError::JobPanicked));
-                        }
-                        std::panic::resume_unwind(payload);
-                    }
-                }
-                Verdict::Done
+            JobKind::MvmMany { .. } => {
+                unreachable!("hydrated into MvmSet above")
             }
             JobKind::MvmSet { handle, xs } => match route(*handle) {
                 Route::Fail(e) => {
@@ -1094,15 +1405,19 @@ impl Runtime {
                     self.degraded.fetch_add(1, Ordering::SeqCst);
                     Verdict::Done
                 }
-                Route::Requeue(to) => {
-                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
-                }
+                Route::Requeue(to) => Verdict::Requeue {
+                    to,
+                    kind: job.kind.clone(),
+                    slots: job.slots.clone(),
+                    meta: job.meta.clone(),
+                },
                 Route::Run(id) => match group.mvm_batch(id, xs) {
                     Ok(ys) => {
                         if !self.mvm_residuals_ok(group, id, xs, &ys) {
                             return Verdict::Failed {
                                 kind: job.kind.clone(),
                                 slots: job.slots.clone(),
+                                meta: job.meta.clone(),
                             };
                         }
                         for (slot, y) in job.slots.iter().zip(ys) {
@@ -1129,15 +1444,19 @@ impl Runtime {
                     self.degraded.fetch_add(1, Ordering::SeqCst);
                     Verdict::Done
                 }
-                Route::Requeue(to) => {
-                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
-                }
+                Route::Requeue(to) => Verdict::Requeue {
+                    to,
+                    kind: job.kind.clone(),
+                    slots: job.slots.clone(),
+                    meta: job.meta.clone(),
+                },
                 Route::Run(id) => match group.mvm_batch(id, xs) {
                     Ok(ys) => {
                         if !self.mvm_residuals_ok(group, id, xs, &ys) {
                             return Verdict::Failed {
                                 kind: job.kind.clone(),
                                 slots: job.slots.clone(),
+                                meta: job.meta.clone(),
                             };
                         }
                         job.slots[0].fill(Ok(JobOutput::Vectors(ys)));
@@ -1159,9 +1478,12 @@ impl Runtime {
                     self.degraded.fetch_add(1, Ordering::SeqCst);
                     Verdict::Done
                 }
-                Route::Requeue(to) => {
-                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
-                }
+                Route::Requeue(to) => Verdict::Requeue {
+                    to,
+                    kind: job.kind.clone(),
+                    slots: job.slots.clone(),
+                    meta: job.meta.clone(),
+                },
                 Route::Run(id) => match group.solve_inv(id, b) {
                     Ok(x) => {
                         if !self.solve_residuals_ok(
@@ -1173,6 +1495,7 @@ impl Runtime {
                             return Verdict::Failed {
                                 kind: job.kind.clone(),
                                 slots: job.slots.clone(),
+                                meta: job.meta.clone(),
                             };
                         }
                         job.slots[0].fill(Ok(JobOutput::Vector(x)));
@@ -1196,15 +1519,19 @@ impl Runtime {
                     self.degraded.fetch_add(1, Ordering::SeqCst);
                     Verdict::Done
                 }
-                Route::Requeue(to) => {
-                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
-                }
+                Route::Requeue(to) => Verdict::Requeue {
+                    to,
+                    kind: job.kind.clone(),
+                    slots: job.slots.clone(),
+                    meta: job.meta.clone(),
+                },
                 Route::Run(id) => match group.solve_inv_batch(id, bs) {
                     Ok(xs) => {
                         if !self.solve_residuals_ok(group, id, bs, &xs) {
                             return Verdict::Failed {
                                 kind: job.kind.clone(),
                                 slots: job.slots.clone(),
+                                meta: job.meta.clone(),
                             };
                         }
                         job.slots[0].fill(Ok(JobOutput::Vectors(xs)));
@@ -1228,15 +1555,19 @@ impl Runtime {
                     self.degraded.fetch_add(1, Ordering::SeqCst);
                     Verdict::Done
                 }
-                Route::Requeue(to) => {
-                    Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
-                }
+                Route::Requeue(to) => Verdict::Requeue {
+                    to,
+                    kind: job.kind.clone(),
+                    slots: job.slots.clone(),
+                    meta: job.meta.clone(),
+                },
                 Route::Run(id) => match group.solve_pinv_batch(id, bs) {
                     Ok(xs) => {
                         if !self.pinv_residuals_ok(group, id, bs, &xs) {
                             return Verdict::Failed {
                                 kind: job.kind.clone(),
                                 slots: job.slots.clone(),
+                                meta: job.meta.clone(),
                             };
                         }
                         job.slots[0].fill(Ok(JobOutput::Vectors(xs)));
@@ -1264,9 +1595,12 @@ impl Runtime {
                         job.slots[0].fill(Ok(JobOutput::Freed));
                         Verdict::Done
                     }
-                    Ok(FreeTarget::Moved(to)) => {
-                        Verdict::Requeue { to, kind: job.kind.clone(), slots: job.slots.clone() }
-                    }
+                    Ok(FreeTarget::Moved(to)) => Verdict::Requeue {
+                        to,
+                        kind: job.kind.clone(),
+                        slots: job.slots.clone(),
+                        meta: job.meta.clone(),
+                    },
                     Err(e) => {
                         job.slots[0].fill(Err(e));
                         Verdict::Done
@@ -1455,7 +1789,14 @@ impl Runtime {
     /// the failure (possibly quarantining the shard), then re-dispatch the
     /// job to its operator's current home — or, out of retries, answer it
     /// from the digital reference path. Called outside all group locks.
-    fn handle_failure(&self, shard: usize, retries: u32, kind: JobKind, slots: Vec<Arc<Slot>>) {
+    fn handle_failure(
+        &self,
+        shard: usize,
+        retries: u32,
+        kind: JobKind,
+        slots: Vec<Arc<Slot>>,
+        meta: Vec<RequestMeta>,
+    ) {
         self.note_failure(shard);
         let Some(op) = kind.operator() else {
             unreachable!("only compute jobs fail residual checks");
@@ -1465,7 +1806,7 @@ impl Runtime {
                 Ok(ExecTarget::Analog { shard: home, .. }) => {
                     #[cfg(feature = "telemetry")]
                     self.telemetry.per_shard[shard].retries.fetch_add(1, Ordering::Relaxed);
-                    self.enqueue_job(home, kind, slots, retries + 1);
+                    self.enqueue_job(home, kind, slots, meta, retries + 1);
                     return;
                 }
                 Ok(ExecTarget::Digital(_)) => {} // fall through to digital
@@ -1734,11 +2075,11 @@ enum Verdict {
     /// Slots filled; nothing to do.
     Done,
     /// The operator lives elsewhere now — re-enqueue the job there with
-    /// the same retry count.
-    Requeue { to: usize, kind: JobKind, slots: Vec<Arc<Slot>> },
+    /// the same retry count (attribution metadata rides along).
+    Requeue { to: usize, kind: JobKind, slots: Vec<Arc<Slot>>, meta: Vec<RequestMeta> },
     /// The result failed its residual check — slots are unfilled; retry or
-    /// degrade per policy.
-    Failed { kind: JobKind, slots: Vec<Arc<Slot>> },
+    /// degrade per policy (attribution metadata rides along).
+    Failed { kind: JobKind, slots: Vec<Arc<Slot>>, meta: Vec<RequestMeta> },
     /// Slots filled (with a typed error), but the shard should be flagged
     /// to the health monitor (a load that could not verify).
     ShardSuspect,

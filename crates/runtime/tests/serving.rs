@@ -161,11 +161,13 @@ fn serving_trace_has_span_pair_per_job() {
 }
 
 /// The metrics JSONL contract CI and dashboards parse: schema version is
-/// pinned at 2 and every reporter record is one compact line carrying it.
+/// pinned at 3 (v3 added the `tenants` and `slo` sections and the widened
+/// `journal` block) and every reporter record is one compact line carrying
+/// it.
 #[cfg(feature = "telemetry")]
 #[test]
 fn metrics_stream_schema_version_is_pinned() {
-    assert_eq!(gramc_runtime::METRICS_SCHEMA_VERSION, 2, "schema bumps must be deliberate");
+    assert_eq!(gramc_runtime::METRICS_SCHEMA_VERSION, 3, "schema bumps must be deliberate");
 
     let (rt, server, op) = serving_fixture(19);
     let path = std::env::temp_dir().join("gramc_serving_metrics_test.jsonl");
@@ -186,7 +188,10 @@ fn metrics_stream_schema_version_is_pinned() {
     assert_eq!(lines.len(), lines_written, "one record per line");
     for line in lines {
         assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
-        assert!(line.contains("\"schema_version\": 2"), "schema version missing: {line}");
+        assert!(line.contains("\"schema_version\": 3"), "schema version missing: {line}");
+        assert!(line.contains("\"tenants\""), "tenants section missing: {line}");
+        assert!(line.contains("\"slo\""), "slo section missing: {line}");
+        assert!(line.contains("\"drop_rate\""), "journal drop rate missing: {line}");
         let opens = line.matches('{').count();
         assert_eq!(opens, line.matches('}').count(), "unbalanced braces: {line}");
     }

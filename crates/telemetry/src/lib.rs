@@ -15,7 +15,6 @@
 
 #![warn(missing_docs)]
 
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -341,6 +340,34 @@ impl HistogramSnapshot {
             self.sum_ns as f64 / self.count as f64
         }
     }
+
+    /// Samples recorded in buckets strictly above the bucket holding
+    /// `threshold_ns` — a bucket-resolution count of samples exceeding the
+    /// threshold, monotone non-increasing in the threshold. Exact when the
+    /// threshold is a power of two (a bucket boundary); otherwise
+    /// undercounts by at most the threshold's own bucket. SLO burn-rate
+    /// evaluation uses this as its violation counter.
+    pub fn count_over(&self, threshold_ns: u64) -> u64 {
+        let k = LatencyHistogram::bucket_of(threshold_ns);
+        self.buckets.iter().skip(k + 1).sum()
+    }
+}
+
+/// Flow-event role of a journal record: whether a chrome://tracing flow
+/// arrow departs from it or lands on it. Flows stitch spans on different
+/// lanes (a request's queue-wait span on its shard lane, the coalesced
+/// batch's execution span on a worker lane) into one causal chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowPhase {
+    /// Not part of a flow.
+    #[default]
+    None,
+    /// A flow arrow with id [`JournalEvent::flow_id`] departs from this
+    /// record (chrome `ph:"s"`).
+    Start,
+    /// The flow arrow with id [`JournalEvent::flow_id`] terminates at this
+    /// record (chrome `ph:"f"` binding to the enclosing slice).
+    End,
 }
 
 /// One record in an [`EventJournal`].
@@ -362,6 +389,27 @@ pub struct JournalEvent {
     pub arg_a: u64,
     /// Second numeric argument (by convention: a size or count).
     pub arg_b: u64,
+    /// Whether this record starts or ends a flow ([`FlowPhase::None`] for
+    /// plain spans and instants).
+    pub flow: FlowPhase,
+    /// Flow identifier shared by the linked records (by convention a
+    /// request id; 0 when `flow` is [`FlowPhase::None`]).
+    pub flow_id: u64,
+}
+
+impl Default for JournalEvent {
+    fn default() -> Self {
+        Self {
+            name: "",
+            category: "",
+            ts_ns: 0,
+            dur_ns: 0,
+            arg_a: 0,
+            arg_b: 0,
+            flow: FlowPhase::None,
+            flow_id: 0,
+        }
+    }
 }
 
 struct Ring {
@@ -411,7 +459,15 @@ impl EventJournal {
     /// Records an instant event stamped `now`.
     pub fn instant(&self, name: &'static str, category: &'static str, arg_a: u64, arg_b: u64) {
         let ts = self.now_ns();
-        self.record(JournalEvent { name, category, ts_ns: ts, dur_ns: 0, arg_a, arg_b });
+        self.record(JournalEvent {
+            name,
+            category,
+            ts_ns: ts,
+            dur_ns: 0,
+            arg_a,
+            arg_b,
+            ..JournalEvent::default()
+        });
     }
 
     /// Records a span that started at `start_ns` (from [`now_ns`](Self::now_ns))
@@ -432,6 +488,7 @@ impl EventJournal {
             dur_ns: end.saturating_sub(start_ns).max(1),
             arg_a,
             arg_b,
+            ..JournalEvent::default()
         })
     }
 
@@ -487,16 +544,29 @@ impl EventJournal {
 }
 
 /// Formats journal events as a chrome://tracing trace-event JSON array.
+///
+/// Duration records become `X` slices, zero-duration records become `i`
+/// instants. A record with a [`FlowPhase`] additionally emits the chrome
+/// flow record (`s` to start the arrow, `f` with `bp:"e"` to land it):
+/// the flow record shares the slice's `pid`/`tid` and is timestamped at
+/// the slice midpoint, so chrome binds it to that slice. Flow-carrying
+/// `X` slices also expose the flow id as `args.req`, which is what the
+/// offline `trace_analyze` tooling keys on.
 pub fn to_chrome_trace(events: &[JournalEvent]) -> String {
     let mut out = String::from("[\n");
-    for (i, ev) in events.iter().enumerate() {
-        let comma = if i + 1 < events.len() { "," } else { "" };
+    // Flow records are appended after their carrier, so commas between
+    // records are decided by position in the output, not the input.
+    let mut records: Vec<String> = Vec::with_capacity(events.len());
+    for ev in events {
         let ts_us = ev.ts_ns as f64 / 1e3;
         if ev.dur_ns > 0 {
-            let _ = writeln!(
-                out,
+            let req = match ev.flow {
+                FlowPhase::None => String::new(),
+                _ => format!(",\"req\":{}", ev.flow_id),
+            };
+            records.push(format!(
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
-                 \"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}{}",
+                 \"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}{}}}}}",
                 ev.name,
                 ev.category,
                 ts_us,
@@ -504,16 +574,39 @@ pub fn to_chrome_trace(events: &[JournalEvent]) -> String {
                 ev.arg_a,
                 ev.arg_a,
                 ev.arg_b,
-                comma
-            );
-        } else {
-            let _ = writeln!(
-                out,
+                req,
+            ));
+        } else if ev.flow == FlowPhase::None {
+            records.push(format!(
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\
-                 \"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}{}",
-                ev.name, ev.category, ts_us, ev.arg_a, ev.arg_a, ev.arg_b, comma
-            );
+                 \"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+                ev.name, ev.category, ts_us, ev.arg_a, ev.arg_a, ev.arg_b,
+            ));
         }
+        match ev.flow {
+            FlowPhase::None => {}
+            FlowPhase::Start | FlowPhase::End => {
+                // Timestamp inside the carrier slice (its midpoint; the
+                // record's own ts for zero-duration carriers) so the
+                // arrow binds to that slice.
+                let bind_us = (ev.ts_ns + ev.dur_ns / 2) as f64 / 1e3;
+                let (ph, bp) = match ev.flow {
+                    FlowPhase::Start => ("s", ""),
+                    _ => ("f", ",\"bp\":\"e\""),
+                };
+                records.push(format!(
+                    "{{\"name\":\"req\",\"cat\":\"flow\",\"ph\":\"{}\"{},\"id\":{},\
+                     \"ts\":{:.3},\"pid\":0,\"tid\":{}}}",
+                    ph, bp, ev.flow_id, bind_us, ev.arg_a,
+                ));
+            }
+        }
+    }
+    for (i, rec) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(rec);
+        out.push_str(comma);
+        out.push('\n');
     }
     out.push_str("]\n");
     out
@@ -613,9 +706,7 @@ mod tests {
                 name,
                 category: "t",
                 ts_ns: i as u64,
-                dur_ns: 0,
-                arg_a: 0,
-                arg_b: 0,
+                ..JournalEvent::default()
             });
         }
         assert_eq!(j.len(), 3);
@@ -641,5 +732,70 @@ mod tests {
         // Balanced brackets/braces make it parseable.
         assert_eq!(trace.matches('{').count(), trace.matches('}').count());
         assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+    }
+
+    #[test]
+    fn flow_events_link_spans_across_lanes() {
+        let j = EventJournal::new(16);
+        // A queue-wait span starting flow 42 on the shard lane, the flow
+        // landing inside an execution span on a worker lane.
+        j.record(JournalEvent {
+            name: "queued:mvm_batch",
+            category: "runtime",
+            ts_ns: 1_000,
+            dur_ns: 2_000,
+            arg_a: 0,
+            arg_b: 7,
+            flow: FlowPhase::Start,
+            flow_id: 42,
+        });
+        j.record(JournalEvent {
+            name: "job:mvm_batch",
+            category: "runtime",
+            ts_ns: 3_000,
+            dur_ns: 4_000,
+            arg_a: 1000,
+            arg_b: 7,
+            ..JournalEvent::default()
+        });
+        j.record(JournalEvent {
+            name: "req",
+            category: "flow",
+            ts_ns: 5_000,
+            arg_a: 1000,
+            flow: FlowPhase::End,
+            flow_id: 42,
+            ..JournalEvent::default()
+        });
+        let trace = j.to_chrome_trace();
+        assert!(trace.contains("\"ph\":\"s\""), "flow start record: {trace}");
+        assert!(trace.contains("\"ph\":\"f\",\"bp\":\"e\""), "flow end record: {trace}");
+        assert_eq!(trace.matches("\"id\":42").count(), 2, "both ends share the id: {trace}");
+        // The carrier slice exposes the flow id for offline analysis.
+        assert!(trace.contains("\"req\":42"), "args.req on the carrier: {trace}");
+        // The flow start binds inside its carrier slice (midpoint 2 µs).
+        assert!(trace.contains("\"ph\":\"s\",\"id\":42,\"ts\":2.000"), "{trace}");
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+        assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+    }
+
+    #[test]
+    fn count_over_is_a_monotone_tail_count() {
+        let h = LatencyHistogram::new();
+        for ns in [100u64, 200, 3_000, 50_000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        let s = h.snapshot();
+        // Power-of-two thresholds are bucket boundaries: exact counts.
+        assert_eq!(s.count_over(1 << 8), 3, "256 ns: 3000/50000/1e6 above");
+        assert_eq!(s.count_over(1 << 12), 2, "4096 ns: 50000/1e6 above");
+        assert_eq!(s.count_over(u64::MAX), 0);
+        assert_eq!(s.count_over(0), s.count, "everything is above 0 ns");
+        let mut prev = u64::MAX;
+        for t in [0u64, 128, 256, 4_096, 1 << 20, u64::MAX] {
+            let c = s.count_over(t);
+            assert!(c <= prev, "count_over must not increase with threshold");
+            prev = c;
+        }
     }
 }

@@ -105,5 +105,96 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.workers,
         report.panicked_workers,
     );
+
+    // ── Two tenants, one deployment ───────────────────────────────────
+    // A LeNet inference tenant (LeNet-5's 84→10 classifier layer served
+    // as an analog operator) shares the runtime with an INV-solve tenant.
+    // Every submission carries its tenant, so the coalesced hardware
+    // costs split back per tenant — and an SloMonitor with a deliberately
+    // unreachable latency target (1 ns) shows the burn-rate alert firing.
+    #[cfg(feature = "telemetry")]
+    {
+        use gramc::nn::LeNet5;
+        use gramc::runtime::{SloConfig, SloMonitor, TenantId, TenantQuota};
+        use std::time::Duration;
+
+        const LENET: TenantId = TenantId(1);
+        const SOLVER: TenantId = TenantId(2);
+        let rt = std::sync::Arc::new(
+            Runtime::new(2, 4, MacroConfig::small(84), 2027)
+                .with_queue_limit(512)
+                .with_tenant_quota(TenantQuota { max_in_flight: 256 })
+                .with_journal_capacity(1 << 14),
+        );
+        let server = RuntimeServer::start(rt.clone());
+        let slo = SloMonitor::start(
+            rt.clone(),
+            SloConfig {
+                latency_target_ns: 1, // unreachable: every completion violates
+                short_window: 2,
+                long_window: 4,
+                interval: Duration::from_millis(5),
+                ..SloConfig::default()
+            },
+        );
+
+        let model = LeNet5::new(&mut random::seeded_rng(4));
+        let (cls_op, cls_loaded) = rt.submit_load_for(
+            LENET,
+            &model.fc3.weights,
+            TileMapping::FourBit,
+            Placement::Pinned(0),
+        )?;
+        let spd = random::spd_with_condition(&mut rng, 32, 5.0);
+        let (spd_op, spd_loaded) =
+            rt.submit_load_for(SOLVER, &spd, TileMapping::FourBit, Placement::Pinned(1))?;
+        cls_loaded.wait()?;
+        spd_loaded.wait()?;
+
+        // Interleave the workloads across several SLO ticks so the burn
+        // windows see live traffic: the LeNet tenant classifies batches
+        // of fc2-style activations, the solver tenant answers INV solves.
+        std::thread::sleep(Duration::from_millis(10)); // pre-traffic baseline
+        for _ in 0..8 {
+            let acts: Vec<Vec<f64>> = (0..6)
+                .map(|_| (0..84).map(|_| random::standard_normal(&mut rng).abs()).collect())
+                .collect();
+            let inference = rt.submit_mvm_batch_for(LENET, cls_op, acts)?;
+            let solve =
+                rt.submit_solve_inv_for(SOLVER, spd_op, random::normal_vector(&mut rng, 32))?;
+            inference.wait()?;
+            solve.wait()?;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let alerts = slo.stop();
+        server.shutdown();
+        let snap = rt.metrics_snapshot();
+        let cost_model = gramc::core::metrics::AnalogCostModel::default();
+        println!("\nper-tenant cost table:");
+        println!(
+            "{:>10} {:>9} {:>9} {:>10} {:>10} {:>12}",
+            "tenant", "requests", "rejected", "p50 µs", "p99 µs", "energy J"
+        );
+        for t in &snap.tenants {
+            println!(
+                "{:>10} {:>9} {:>9} {:>10.1} {:>10.1} {:>12.3e}",
+                t.tenant.to_string(),
+                t.requests,
+                t.rejected,
+                t.latency.p50_ns() as f64 / 1e3,
+                t.latency.p99_ns() as f64 / 1e3,
+                t.analog_cost(&cost_model).energy,
+            );
+        }
+        match alerts.first() {
+            Some(a) => println!(
+                "deliberate SLO alert: {:?} burning {:.0}× the error budget \
+                 (short window) at tick {}",
+                a.kind, a.short_burn, a.tick
+            ),
+            None => println!("no SLO alert fired (unexpectedly healthy run)"),
+        }
+    }
     Ok(())
 }
